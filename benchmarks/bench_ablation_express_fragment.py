@@ -1,0 +1,36 @@
+"""Ablation: Express fragment size and handshake cost.
+
+Express's Table 3 deficit is structural: a stop-and-wait handshake
+per internal fragment.  Growing the fragment (fewer handshakes) or
+dropping the handshake latency should recover most of the gap to p4.
+"""
+
+from repro.core.measurements import measure_sendrecv
+from repro.tools.profiles import EXPRESS_PROFILE
+
+
+def run_ablation(nbytes=65536):
+    stock = measure_sendrecv("express", "sun-ethernet", nbytes)
+    big_fragment = measure_sendrecv(
+        "express", "sun-ethernet", nbytes,
+        profile=EXPRESS_PROFILE.replace(fragment_bytes=8192),
+    )
+    no_handshake = measure_sendrecv(
+        "express", "sun-ethernet", nbytes,
+        profile=EXPRESS_PROFILE.replace(handshake_seconds=0.0),
+    )
+    return stock, big_fragment, no_handshake
+
+
+def test_express_fragment_ablation(benchmark):
+    stock, big_fragment, no_handshake = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    print(
+        "\nexpress snd/recv 64KB Ethernet: stock=%.1fms 8KB-fragments=%.1fms "
+        "no-handshake=%.1fms" % (stock * 1e3, big_fragment * 1e3, no_handshake * 1e3)
+    )
+    assert big_fragment < stock
+    assert no_handshake < stock
+    # Handshakes are the dominant structural cost at 1 KB fragments.
+    assert (stock - no_handshake) > 0.25 * stock

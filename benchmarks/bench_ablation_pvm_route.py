@@ -1,0 +1,40 @@
+"""Ablation: PVM's daemon default route vs a direct route.
+
+PVM 3.3 offered PvmRouteDirect, which bypasses the daemons and talks
+task-to-task.  Zeroing the daemon constants in the profile models it;
+the gap quantifies how much of PVM's Table 3 deficit the default
+route costs — and shows the congestion-retransmit penalty (the ring
+behaviour) is a daemon-path effect.
+"""
+
+from repro.core.measurements import measure_ring, measure_sendrecv
+from repro.tools.profiles import PVM_PROFILE
+
+DIRECT = PVM_PROFILE.replace(
+    daemon_ipc_fixed=0.0,
+    daemon_ipc_per_byte=0.0,
+    daemon_copy_per_byte=0.0,
+    daemon_ack_stall=0.0,
+    daemon_retransmit_stall=0.0,
+)
+
+
+def run_ablation(nbytes=65536):
+    default_rtt = measure_sendrecv("pvm", "sun-ethernet", nbytes)
+    direct_rtt = measure_sendrecv("pvm", "sun-ethernet", nbytes, profile=DIRECT)
+    default_ring = measure_ring("pvm", "sun-ethernet", nbytes)
+    direct_ring = measure_ring("pvm", "sun-ethernet", nbytes, profile=DIRECT)
+    return default_rtt, direct_rtt, default_ring, direct_ring
+
+
+def test_pvm_route_ablation(benchmark):
+    default_rtt, direct_rtt, default_ring, direct_ring = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+    print(
+        "\nsnd/recv 64KB: daemon=%.1fms direct=%.1fms | ring 64KB: daemon=%.1fms direct=%.1fms"
+        % (default_rtt * 1e3, direct_rtt * 1e3, default_ring * 1e3, direct_ring * 1e3)
+    )
+    # The daemon route must cost measurably on both patterns.
+    assert direct_rtt < default_rtt * 0.8
+    assert direct_ring < default_ring * 0.85

@@ -1,0 +1,28 @@
+"""Ablation: the TCP window behind p4's Ethernet curve.
+
+Table 3 shows p4's Ethernet times jumping super-linearly past 4-8 KB —
+the 1995 SunOS socket-buffer window.  Widening the modelled window
+should flatten the curve; shrinking it should steepen it.
+"""
+
+from repro.core.measurements import measure_sendrecv
+from repro.tools.profiles import P4_PROFILE
+
+
+def run_ablation(nbytes=65536):
+    results = {}
+    for window in (4096, 8192, 65536):
+        profile = P4_PROFILE.replace(tcp_window_bytes=window)
+        results[window] = measure_sendrecv(
+            "p4", "sun-ethernet", nbytes, profile=profile
+        )
+    return results
+
+
+def test_tcp_window_ablation(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print(
+        "\np4 snd/recv 64KB Ethernet by window: "
+        + "  ".join("%dB=%.1fms" % (w, t * 1e3) for w, t in sorted(results.items()))
+    )
+    assert results[65536] < results[8192] < results[4096]

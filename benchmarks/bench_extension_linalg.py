@@ -1,0 +1,34 @@
+"""Extension bench: the Table 2 numerical apps beyond the figures.
+
+Matrix multiplication stresses broadcast bandwidth; LU stresses
+per-message latency (n shrinking broadcasts).  Together they separate
+the tools along both axes, complementing Figures 5-8.
+"""
+
+from repro.core.measurements import measure_application
+
+
+def run_linalg(platform="alpha-fddi", processors=4):
+    times = {}
+    for app, params in (("matmul", {"n": 192}), ("lu", {"n": 96})):
+        times[app] = {
+            tool: measure_application(
+                app, tool, platform, processors=processors, **params
+            )
+            for tool in ("p4", "pvm", "express")
+        }
+    return times
+
+
+def test_extension_linalg(benchmark):
+    times = benchmark.pedantic(run_linalg, rounds=1, iterations=1)
+    print()
+    for app, by_tool in times.items():
+        print(
+            "%-8s " % app
+            + "  ".join("%s=%.4fs" % item for item in sorted(by_tool.items()))
+        )
+    # Bandwidth-bound matmul: p4 leads but the spread is modest.
+    assert times["matmul"]["p4"] <= min(times["matmul"].values()) * 1.001
+    # Latency-bound LU: PVM's daemon route is heavily punished.
+    assert times["lu"]["pvm"] > times["lu"]["p4"] * 1.5

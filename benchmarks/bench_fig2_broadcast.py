@@ -1,0 +1,14 @@
+"""Bench F2: regenerate Figure 2 (broadcast, Ethernet + ATM WAN)."""
+
+import pytest
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_fig2_broadcast
+
+
+@pytest.mark.parametrize("network", ["ethernet", "atm"])
+def test_fig2_broadcast(benchmark, network):
+    result = run_once(benchmark, run_fig2_broadcast, network)
+    print()
+    print(result.render())
+    assert_experiment(result)

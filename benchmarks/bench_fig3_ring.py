@@ -1,0 +1,19 @@
+"""Bench F3: regenerate Figure 3 (ring, Ethernet + ATM WAN).
+
+The headline emergent behaviour: Express overtakes PVM under the
+bidirectional ring load on Ethernet even though PVM wins plain
+send/recv.
+"""
+
+import pytest
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_fig3_ring
+
+
+@pytest.mark.parametrize("network", ["ethernet", "atm"])
+def test_fig3_ring(benchmark, network):
+    result = run_once(benchmark, run_fig3_ring, network)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,12 @@
+"""Bench F4: regenerate Figure 4 (global vector summation)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_fig4_globalsum
+
+
+def test_fig4_globalsum(benchmark):
+    result = run_once(benchmark, run_fig4_globalsum)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,12 @@
+"""Bench F5: regenerate Figure 5 (four applications on ALPHA/FDDI)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_apl_figure
+
+
+def test_fig5_alpha_fddi(benchmark):
+    result = run_once(benchmark, run_apl_figure, "alpha-fddi")
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,12 @@
+"""Bench F6: regenerate Figure 6 (four applications on IBM SP-1)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_apl_figure
+
+
+def test_fig6_sp1_switch(benchmark):
+    result = run_once(benchmark, run_apl_figure, "sp1-switch")
+    print()
+    print(result.render())
+    assert_experiment(result)

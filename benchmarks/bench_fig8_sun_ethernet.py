@@ -1,0 +1,12 @@
+"""Bench F8: regenerate Figure 8 (four applications on SUN/Ethernet)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_apl_figure
+
+
+def test_fig8_sun_ethernet(benchmark):
+    result = run_once(benchmark, run_apl_figure, "sun-ethernet")
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,41 @@
+"""Extension: push a fourth tool (MPI) through the same methodology.
+
+The paper's closing direction — the framework "can be used to
+evaluate any parallel/distributed tool".  An MPICH-style MPI model
+(direct TCP like p4, slightly richer semantics) joins the original
+three and the whole three-level evaluation re-runs unchanged.
+"""
+
+from repro.core.evaluation import evaluate_tools
+
+_TINY_APPS = {
+    "jpeg": {"height": 128, "width": 128},
+    "fft2d": {"size": 64},
+    "montecarlo": {"samples": 100_000},
+    "psrs": {"keys": 25_000},
+}
+
+
+def run_four_tool_evaluation():
+    return evaluate_tools(
+        platform="sun-ethernet",
+        processors=4,
+        tools=("express", "p4", "pvm", "mpi"),
+        tpl_sizes=(1024, 16384, 65536),
+        global_sum_ints=10_000,
+        app_params=_TINY_APPS,
+    )
+
+
+def test_mpi_extension_evaluation(benchmark):
+    report = benchmark.pedantic(run_four_tool_evaluation, rounds=1, iterations=1)
+    print()
+    print(report.summary())
+    scores = report.scores()
+    # The methodology accommodates the fourth tool without changes.
+    assert set(scores) == {"express", "p4", "pvm", "mpi"}
+    # MPI behaves like a slightly heavier p4: between p4 and the rest
+    # at the tool performance level.
+    assert scores["p4"]["tpl"] >= scores["mpi"]["tpl"]
+    assert scores["mpi"]["tpl"] > scores["pvm"]["tpl"]
+    assert scores["mpi"]["tpl"] > scores["express"]["tpl"]

@@ -1,0 +1,12 @@
+"""Bench T1: regenerate Table 1 (primitive name map)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_table1
+
+
+def test_table1_primitives(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,12 @@
+"""Bench T2: regenerate Table 2 (the SU PDABS suite)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_table2
+
+
+def test_table2_suite(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,17 @@
+"""Bench T3: regenerate Table 3 (snd/recv round trips, all networks).
+
+The one artifact the paper publishes as exact numbers: every cell must
+land within the calibration factor, and the orderings/crossovers the
+text calls out must hold.
+"""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_table3
+
+
+def test_table3_sendrecv(benchmark):
+    result = run_once(benchmark, run_table3)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,12 @@
+"""Bench T4: regenerate Table 4 (primitive ranking summary)."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_table4
+
+
+def test_table4_summary(benchmark):
+    result = run_once(benchmark, run_table4)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,12 @@
+"""Bench T5: regenerate the Section 3.3.1 usability matrix."""
+
+from conftest import assert_experiment, run_once
+
+from repro.bench.experiments import run_table5
+
+
+def test_table5_usability(benchmark):
+    result = run_once(benchmark, run_table5)
+    print()
+    print(result.render())
+    assert_experiment(result)

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment exactly once (simulated time is
+deterministic; repeating adds nothing) and asserts the experiment's
+shape checks against the paper.
+"""
+
+import pytest
+
+from repro.bench.compare import failures
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round/iteration."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_experiment(result):
+    """Fail with a readable report if any shape check failed."""
+    failed = failures(result.checks)
+    if failed:
+        details = "\n".join(repr(check) for check in failed)
+        pytest.fail(
+            "%s: %d/%d checks failed:\n%s"
+            % (result.exp_id, len(failed), len(result.checks), details)
+        )

@@ -1,0 +1,36 @@
+"""Regenerate every table and figure of the paper in one run.
+
+    python examples/paper_tables.py              # everything
+    python examples/paper_tables.py table3 fig4  # a selection
+
+Prints each artifact in the paper's layout followed by its shape
+checks against the published data.
+"""
+
+import sys
+
+from repro.bench import available_experiments, run_experiments
+
+
+def main() -> None:
+    requested = sys.argv[1:] or None
+    if requested:
+        unknown = set(requested) - set(available_experiments())
+        if unknown:
+            raise SystemExit(
+                "unknown experiments: %s\navailable: %s"
+                % (", ".join(sorted(unknown)), ", ".join(available_experiments()))
+            )
+    results = run_experiments(requested)
+    failed = [result for result in results if not result.passed]
+    print("=" * 72)
+    print(
+        "%d/%d artifacts reproduce the paper's claims"
+        % (len(results) - len(failed), len(results))
+    )
+    if failed:
+        raise SystemExit("failing: %s" % ", ".join(result.exp_id for result in failed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Quickstart: evaluate the three tools on one platform.
+
+Runs the full multi-level methodology (TPL micro-benchmarks, the four
+SU PDABS applications, the usability matrix) on the SUN/Ethernet
+configuration and prints the weighted report.
+
+    python examples/quickstart.py [platform]
+"""
+
+import sys
+
+from repro import evaluate_tools
+
+
+def main() -> None:
+    platform = sys.argv[1] if len(sys.argv) > 1 else "sun-ethernet"
+    print("Evaluating Express, p4 and PVM on %s ..." % platform)
+    report = evaluate_tools(platform=platform, processors=4)
+    print()
+    print(report.summary())
+    print()
+    print("Ranking: %s" % " > ".join(report.ranking()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""NYNET feasibility study: is WAN distributed computing viable?
+
+Reproduces the paper's headline network conclusion (Section 3.2.1):
+"it is feasible to build distributed computing systems across an ATM
+WAN and their performance is comparable to those based on LANs" — and
+the application-level corollary that ATM WAN setups can outperform
+Ethernet LANs.
+
+    python examples/wan_computing.py
+"""
+
+from repro.core.measurements import measure_application, measure_sendrecv
+
+
+def main() -> None:
+    print("Point-to-point: p4 snd/recv round trip (ms)")
+    print("%8s %12s %12s %12s" % ("KB", "ATM LAN", "ATM WAN", "Ethernet"))
+    for kb in (1, 4, 16, 64):
+        lan = measure_sendrecv("p4", "sun-atm-lan", kb * 1024) * 1e3
+        wan = measure_sendrecv("p4", "sun-atm-wan", kb * 1024) * 1e3
+        eth = measure_sendrecv("p4", "sun-ethernet", kb * 1024) * 1e3
+        print("%8d %12.2f %12.2f %12.2f" % (kb, lan, wan, eth))
+
+    print()
+    print("Applications at 4 processors, p4 (seconds)")
+    print("%-12s %12s %12s" % ("app", "ATM WAN", "Ethernet"))
+    for app in ("jpeg", "fft2d", "montecarlo", "psrs"):
+        wan = measure_application(app, "p4", "sun-atm-wan", processors=4)
+        eth = measure_application(app, "p4", "sun-ethernet", processors=4)
+        print("%-12s %12.3f %12.3f" % (app, wan, eth))
+
+    print()
+    print(
+        "The WAN columns track the LAN closely for primitives and beat\n"
+        "the Ethernet cluster for the applications: distributed computing\n"
+        "over a high-speed WAN was already feasible in 1995."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Ad-hoc APL shape check: app execution times vs processors."""
+
+from repro.apps import create_application
+from repro.hardware import build_platform
+from repro.tools import create_tool
+
+
+def run(app_name, tool_name, platform_name, processors):
+    app = create_application(app_name)
+    platform = build_platform(platform_name, processors=max(processors, 1))
+    tool = create_tool(tool_name, platform)
+    result = app.run(tool, processors=processors, check=False)
+    return result.elapsed_seconds
+
+
+def main():
+    for platform_name, plist in [("alpha-fddi", [1, 2, 4, 8]), ("sun-ethernet", [1, 2, 4, 8]),
+                                 ("sp1-switch", [1, 2, 4, 8]), ("sun-atm-wan", [1, 2, 4])]:
+        print("\n== %s ==" % platform_name)
+        for app_name in ["fft2d", "jpeg", "montecarlo", "psrs"]:
+            for tool_name in ["p4", "pvm", "express"]:
+                times = [run(app_name, tool_name, platform_name, p) for p in plist]
+                print(
+                    "%-10s %-8s %s"
+                    % (app_name, tool_name, "  ".join("%8.3f" % t for t in times))
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Ad-hoc calibration check against the paper's Table 3.
+
+Prints measured round-trip times (ms) next to the paper's values for
+each tool x network x message size, plus the ratio.
+"""
+
+import sys
+
+from repro.hardware import build_platform
+from repro.tools import create_tool
+
+PAPER_TABLE3 = {
+    # (tool, network): {KB: round-trip ms}
+    ("pvm", "sun-ethernet"): {0: 9.655, 1: 11.693, 2: 14.306, 4: 25.537, 8: 44.392,
+                              16: 61.096, 32: 109.844, 64: 189.120},
+    ("pvm", "sun-atm-lan"): {0: 7.991, 1: 8.678, 2: 9.896, 4: 13.673, 8: 18.574,
+                             16: 27.365, 32: 48.028, 64: 88.176},
+    ("pvm", "sun-atm-wan"): {0: 7.764, 1: 8.878, 2: 10.105, 4: 14.665, 8: 19.526,
+                             16: 28.679, 32: 53.320, 64: 91.353},
+    ("p4", "sun-ethernet"): {0: 3.199, 1: 3.599, 2: 4.399, 4: 9.332, 8: 24.165,
+                             16: 44.164, 32: 98.996, 64: 173.158},
+    ("p4", "sun-atm-lan"): {0: 2.966, 1: 3.393, 2: 3.748, 4: 4.404, 8: 6.482,
+                            16: 11.191, 32: 19.104, 64: 35.899},
+    ("p4", "sun-atm-wan"): {0: 3.636, 1: 4.168, 2: 4.822, 4: 5.069, 8: 7.459,
+                            16: 13.573, 32: 22.254, 64: 41.725},
+    ("express", "sun-ethernet"): {0: 4.807, 1: 10.375, 2: 18.362, 4: 32.669, 8: 59.166,
+                                  16: 111.411, 32: 189.760, 64: 311.700},
+    ("express", "sun-atm-lan"): {0: 4.152, 1: 7.240, 2: 11.061, 4: 16.990, 8: 27.047,
+                                 16: 46.003, 32: 82.566, 64: 153.970},
+}
+
+
+def echo_rtt_ms(tool_name, platform_name, nbytes):
+    platform = build_platform(platform_name, processors=2)
+    tool = create_tool(tool_name, platform)
+
+    def program(comm):
+        if comm.rank == 0:
+            start = comm.env.now
+            yield from comm.send(1, nbytes=nbytes, tag="ping")
+            yield from comm.recv(src=1, tag="pong")
+            return (comm.env.now - start) * 1e3
+        yield from comm.recv(src=0, tag="ping")
+        yield from comm.send(0, nbytes=nbytes, tag="pong")
+        return None
+
+    results = tool.run_spmd(program, nprocs=2)
+    return results[0]
+
+
+def main():
+    tools = sys.argv[1:] or ["p4", "pvm", "express"]
+    for (tool_name, platform_name), rows in sorted(PAPER_TABLE3.items()):
+        if tool_name not in tools:
+            continue
+        print("\n%s on %s" % (tool_name, platform_name))
+        print("%6s %10s %10s %7s" % ("KB", "paper", "measured", "ratio"))
+        for kb, paper_ms in sorted(rows.items()):
+            measured = echo_rtt_ms(tool_name, platform_name, kb * 1024)
+            print("%6d %10.3f %10.3f %7.2f" % (kb, paper_ms, measured, measured / paper_ms))
+
+
+if __name__ == "__main__":
+    main()

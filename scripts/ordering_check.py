@@ -1,0 +1,71 @@
+"""Ad-hoc check of the paper's qualitative collective orderings."""
+
+from repro.hardware import build_platform
+from repro.tools import create_tool
+
+
+def broadcast_time(tool_name, platform_name, nbytes, processors=4):
+    platform = build_platform(platform_name, processors=processors)
+    tool = create_tool(tool_name, platform)
+
+    def program(comm):
+        payload = b"x" if comm.rank == 0 else None
+        yield from comm.broadcast(0, payload=payload, nbytes=nbytes)
+        return comm.env.now
+
+    results = tool.run_spmd(program)
+    return max(results) * 1e3
+
+
+def ring_time(tool_name, platform_name, nbytes, processors=4):
+    platform = build_platform(platform_name, processors=processors)
+    tool = create_tool(tool_name, platform)
+
+    def program(comm):
+        yield from comm.ring_shift(nbytes=nbytes)
+        return comm.env.now
+
+    results = tool.run_spmd(program)
+    return max(results) * 1e3
+
+
+def global_sum_time(tool_name, platform_name, nints, processors=4):
+    import numpy as np
+
+    platform = build_platform(platform_name, processors=processors)
+    tool = create_tool(tool_name, platform)
+
+    def program(comm):
+        vector = np.ones(nints, dtype=np.int32)
+        yield from comm.global_sum(vector)
+        return comm.env.now
+
+    results = tool.run_spmd(program)
+    return max(results) * 1e3
+
+
+def main():
+    for platform_name in ["sun-ethernet", "sun-atm-wan"]:
+        print("\n== %s ==" % platform_name)
+        for nbytes in [1024, 16384, 65536]:
+            times = {t: broadcast_time(t, platform_name, nbytes) for t in ["p4", "pvm", "express"]}
+            print(
+                "bcast %5dB: p4=%8.2f pvm=%8.2f express=%8.2f ms"
+                % (nbytes, times["p4"], times["pvm"], times["express"])
+            )
+        for nbytes in [1024, 16384, 65536]:
+            times = {t: ring_time(t, platform_name, nbytes) for t in ["p4", "pvm", "express"]}
+            print(
+                "ring  %5dB: p4=%8.2f pvm=%8.2f express=%8.2f ms"
+                % (nbytes, times["p4"], times["pvm"], times["express"])
+            )
+        for nints in [10000, 100000]:
+            times = {t: global_sum_time(t, platform_name, nints) for t in ["p4", "express"]}
+            print(
+                "gsum %6d ints: p4=%8.2f express=%8.2f ms"
+                % (nints, times["p4"], times["express"])
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""SU PDABS benchmark applications (real algorithms, simulated time)."""
+
+from repro.apps.base import AppRun, ParallelApplication, split_evenly
+from repro.apps.fft.parallel import FftWorkload, ParallelFft2d
+from repro.apps.jpeg.parallel import JpegCompression, JpegWorkload
+from repro.apps.linalg import LuDecomposition, MatrixMultiply
+from repro.apps.montecarlo.parallel import MonteCarloIntegration, MonteCarloWorkload
+from repro.apps.sorting.parallel import PsrsSort, SortWorkload
+from repro.apps.suite import (
+    APPLICATION_CLASSES,
+    BENCHMARKED_APPS,
+    EXTENSION_APPS,
+    SU_PDABS_TABLE,
+    application_names,
+    create_application,
+)
+
+__all__ = [
+    "APPLICATION_CLASSES",
+    "AppRun",
+    "BENCHMARKED_APPS",
+    "EXTENSION_APPS",
+    "FftWorkload",
+    "JpegCompression",
+    "JpegWorkload",
+    "LuDecomposition",
+    "MatrixMultiply",
+    "MonteCarloIntegration",
+    "MonteCarloWorkload",
+    "ParallelApplication",
+    "ParallelFft2d",
+    "PsrsSort",
+    "SU_PDABS_TABLE",
+    "SortWorkload",
+    "application_names",
+    "create_application",
+    "split_evenly",
+]

@@ -1,0 +1,1 @@
+"""fft application package."""

@@ -1,0 +1,1 @@
+"""jpeg application package."""

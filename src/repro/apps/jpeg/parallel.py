@@ -1,0 +1,143 @@
+"""Parallel JPEG compression (host-node model, as in the paper).
+
+Three phases, exactly as Section 3.3 describes: the host distributes
+horizontal image strips (keeping one for itself), every processor
+compresses its strip — "It also processes its portion of the image" —
+and the host collects the compressed streams.  Distribution and
+collection move bulk data; computation is communication-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.base import ParallelApplication, split_evenly
+from repro.apps.jpeg.codec import (
+    compress_strip,
+    compression_work,
+    decompress_strip,
+    psnr,
+)
+from repro.sim import RandomStreams
+
+__all__ = ["JpegWorkload", "JpegCompression"]
+
+_DISTRIBUTE_TAG = "jpeg.strip"
+_COLLECT_TAG = "jpeg.result"
+
+
+class JpegWorkload(object):
+    """A synthetic grayscale image plus codec parameters."""
+
+    def __init__(self, image: np.ndarray, quality: int = 75) -> None:
+        self.image = image
+        self.quality = quality
+
+    @property
+    def shape(self):
+        return self.image.shape
+
+    def __repr__(self) -> str:
+        return "<JpegWorkload %dx%d q=%d>" % (
+            self.image.shape[0],
+            self.image.shape[1],
+            self.quality,
+        )
+
+
+def synthetic_image(rng: RandomStreams, height: int = 768, width: int = 768) -> np.ndarray:
+    """A deterministic photographic-statistics test image."""
+    from repro.workloads.images import gradient_noise_image
+
+    return gradient_noise_image(rng.fresh_numpy_stream("jpeg.image"), height, width)
+
+
+class JpegCompression(ParallelApplication):
+    """The paper's JPEG Compression benchmark (Signal/Image class)."""
+
+    name = "jpeg"
+    paper_class = "Signal/Image Processing"
+
+    def __init__(self, height: int = 768, width: int = 768, quality: int = 75) -> None:
+        if height % 8 or width % 8:
+            raise ValueError("image dimensions must be multiples of 8")
+        self.height = height
+        self.width = width
+        self.quality = quality
+
+    def make_workload(self, rng: RandomStreams) -> JpegWorkload:
+        return JpegWorkload(synthetic_image(rng, self.height, self.width), self.quality)
+
+    def _strip_bounds(self, height: int, processors: int):
+        """Row ranges per rank; strip heights are multiples of 8."""
+        block_rows = height // 8
+        chunks = split_evenly(block_rows, processors)
+        bounds = []
+        row = 0
+        for chunk in chunks:
+            bounds.append((row * 8, (row + chunk) * 8))
+            row += chunk
+        return bounds
+
+    def program(self, comm, workload: JpegWorkload):
+        image = workload.image
+        quality = workload.quality
+        bounds = self._strip_bounds(image.shape[0], comm.size)
+
+        if comm.rank == 0:
+            # Distribution phase: strips to every node (host keeps 0).
+            for rank in range(1, comm.size):
+                top, bottom = bounds[rank]
+                yield from comm.send(
+                    rank, payload=image[top:bottom], tag=_DISTRIBUTE_TAG
+                )
+            # Computation phase: the host processes its own portion.
+            top, bottom = bounds[0]
+            strip = image[top:bottom]
+            yield from comm.node.execute(compression_work(strip.size))
+            tokens, nbytes = compress_strip(strip, quality)
+            pieces = {0: (tokens, nbytes, (strip.shape[0], strip.shape[1]))}
+            # Collection phase: compressed streams come back (any order).
+            for _ in range(1, comm.size):
+                msg = yield from comm.recv(tag=_COLLECT_TAG)
+                pieces[msg.src] = msg.payload
+            ordered = [pieces[rank] for rank in range(comm.size)]
+            total_bytes = sum(piece[1] for piece in ordered)
+            return {
+                "pieces": ordered,
+                "compressed_bytes": total_bytes,
+                "original_bytes": int(image.size),
+                "bounds": bounds,
+                "quality": quality,
+            }
+
+        msg = yield from comm.recv(src=0, tag=_DISTRIBUTE_TAG)
+        strip = msg.payload
+        yield from comm.node.execute(compression_work(strip.size))
+        tokens, nbytes = compress_strip(strip, quality)
+        # Send tokens for verifiability; charge wire size of the
+        # *compressed* stream, which is what the tools transmitted.
+        yield from comm.send(
+            0,
+            payload=(tokens, nbytes, (strip.shape[0], strip.shape[1])),
+            nbytes=nbytes,
+            tag=_COLLECT_TAG,
+        )
+        return None
+
+    def verify(self, workload: JpegWorkload, results) -> None:
+        output = results[0]
+        self._require(output is not None, "host produced no output")
+        image = workload.image
+        total = output["compressed_bytes"]
+        ratio = image.size / float(total)
+        self._require(ratio > 2.0, "compression ratio %.2f is implausibly low" % ratio)
+
+        # Decode every strip and check end-to-end quality.
+        reconstructed = np.empty_like(image, dtype=np.float64)
+        for (top, bottom), (tokens, _, shape) in zip(output["bounds"], output["pieces"]):
+            reconstructed[top:bottom] = decompress_strip(tokens, shape, output["quality"])
+        quality_db = psnr(image, reconstructed)
+        self._require(quality_db > 28.0, "PSNR %.1f dB below threshold" % quality_db)

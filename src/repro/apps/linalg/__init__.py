@@ -1,0 +1,7 @@
+"""Extension numerical applications (Table 2 entries beyond the four
+the paper's figures use)."""
+
+from repro.apps.linalg.lu import LuDecomposition, LuWorkload
+from repro.apps.linalg.matmul import MatmulWorkload, MatrixMultiply
+
+__all__ = ["LuDecomposition", "LuWorkload", "MatmulWorkload", "MatrixMultiply"]

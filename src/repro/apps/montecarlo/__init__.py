@@ -1,0 +1,1 @@
+"""montecarlo application package."""

@@ -1,0 +1,1 @@
+"""sorting application package."""

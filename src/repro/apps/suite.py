@@ -1,0 +1,105 @@
+"""The SU PDABS suite: Table 2 and the implemented-application registry.
+
+Table 2 of the paper lists the full Syracuse parallel/distributed
+application benchmark suite by class; the paper's experiments (and
+this reproduction's Figures 5-8) use one representative per class:
+JPEG Compression, 2D-FFT, Monte Carlo Integration and Parallel
+Sorting (PSRS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import ParallelApplication
+from repro.apps.fft.parallel import ParallelFft2d
+from repro.apps.jpeg.parallel import JpegCompression
+from repro.apps.linalg.lu import LuDecomposition
+from repro.apps.linalg.matmul import MatrixMultiply
+from repro.apps.montecarlo.parallel import MonteCarloIntegration
+from repro.apps.sorting.parallel import PsrsSort
+
+__all__ = [
+    "SU_PDABS_TABLE",
+    "BENCHMARKED_APPS",
+    "EXTENSION_APPS",
+    "APPLICATION_CLASSES",
+    "create_application",
+    "application_names",
+]
+
+#: Table 2 — the full SU PDABS catalog, by application class.
+SU_PDABS_TABLE: Dict[str, List[str]] = {
+    "Numerical Algorithms": [
+        "Fast Fourier Transform",
+        "LU Decomposition",
+        "Linear Equation Solver",
+        "Matrix Multiplication",
+    ],
+    "Signal/Image Processing": [
+        "JPEG Compression",
+        "Hough Transform",
+        "Ray Tracing",
+        "Data Compression",
+        "Cryptology",
+    ],
+    "Simulation/Optimization": [
+        "N-body Simulation",
+        "Monte Carlo Integration",
+        "Traveling Salesman",
+        "Branch and Bound",
+    ],
+    "Utilities": [
+        "ADA Compiler",
+        "Parallel Sorting",
+        "Parallel Search",
+        "Distributed Spell Checker",
+        "Distributed Make",
+    ],
+}
+
+#: The four applications the paper benchmarks (Section 2.2: "we have
+#: chosen JPEG Compression, Fast Fourier Transform (FFT), Monte Carlo
+#: Integration and Parallel sorting").
+_PAPER_FACTORIES = {
+    "jpeg": JpegCompression,
+    "fft2d": ParallelFft2d,
+    "montecarlo": MonteCarloIntegration,
+    "psrs": PsrsSort,
+}
+
+#: Further Table 2 entries implemented beyond the paper's figures.
+_EXTENSION_FACTORIES = {
+    "matmul": MatrixMultiply,
+    "lu": LuDecomposition,
+}
+
+_FACTORIES = dict(_PAPER_FACTORIES, **_EXTENSION_FACTORIES)
+
+BENCHMARKED_APPS = tuple(sorted(_PAPER_FACTORIES))
+EXTENSION_APPS = tuple(sorted(_EXTENSION_FACTORIES))
+
+#: app name -> Table 2 class.
+APPLICATION_CLASSES = {
+    name: factory().paper_class for name, factory in _FACTORIES.items()
+}
+
+
+def application_names() -> List[str]:
+    """Names accepted by :func:`create_application`."""
+    return list(BENCHMARKED_APPS)
+
+
+def create_application(name: str, **params) -> ParallelApplication:
+    """Instantiate a benchmark application by name.
+
+    Keyword parameters configure the workload size, e.g.
+    ``create_application("fft2d", size=64)``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            "unknown application %r; available: %s" % (name, ", ".join(BENCHMARKED_APPS))
+        )
+    return factory(**params)

@@ -1,0 +1,66 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.compare import (
+    CheckResult,
+    all_passed,
+    check_monotone_decreasing,
+    check_monotone_increasing,
+    check_ordering,
+    check_ratio_band,
+    check_within_factor,
+    failures,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_apl_figure,
+    run_fig2_broadcast,
+    run_fig3_ring,
+    run_fig4_globalsum,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.bench.paper_data import (
+    APL_PLATFORM_AXES,
+    FIGURE_CLAIMS,
+    TABLE3_RTT_MS,
+    TABLE3_SIZES_KB,
+    TABLE4_EXPECTED_RANKINGS,
+)
+from repro.bench.runner import available_experiments, run_experiment, run_experiments
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "APL_PLATFORM_AXES",
+    "CheckResult",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "FIGURE_CLAIMS",
+    "TABLE3_RTT_MS",
+    "TABLE3_SIZES_KB",
+    "TABLE4_EXPECTED_RANKINGS",
+    "all_passed",
+    "available_experiments",
+    "check_monotone_decreasing",
+    "check_monotone_increasing",
+    "check_ordering",
+    "check_ratio_band",
+    "check_within_factor",
+    "failures",
+    "format_series",
+    "format_table",
+    "run_apl_figure",
+    "run_experiment",
+    "run_experiments",
+    "run_fig2_broadcast",
+    "run_fig3_ring",
+    "run_fig4_globalsum",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

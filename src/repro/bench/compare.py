@@ -1,0 +1,116 @@
+"""Shape checks: does a measured artifact behave like the paper's?
+
+Checks return :class:`CheckResult` objects rather than asserting, so
+the same machinery drives both the printed experiment reports and the
+benchmark assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "CheckResult",
+    "check_ordering",
+    "check_within_factor",
+    "check_monotone_decreasing",
+    "check_monotone_increasing",
+    "check_ratio_band",
+    "all_passed",
+    "failures",
+]
+
+
+class CheckResult(object):
+    """Outcome of one shape check."""
+
+    __slots__ = ("name", "passed", "detail")
+
+    def __init__(self, name: str, passed: bool, detail: str = "") -> None:
+        self.name = name
+        self.passed = bool(passed)
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return "[%s] %s%s" % (status, self.name, (": " + self.detail) if self.detail else "")
+
+
+def check_ordering(name: str, values: Dict[str, float], expected: Sequence[str]) -> CheckResult:
+    """Do the values sort in the expected order (best=smallest first)?"""
+    relevant = {key: values[key] for key in expected}
+    measured = sorted(relevant, key=lambda key: relevant[key])
+    passed = list(measured) == list(expected)
+    detail = "expected %s, measured %s (%s)" % (
+        list(expected),
+        measured,
+        ", ".join("%s=%.4g" % item for item in sorted(relevant.items())),
+    )
+    return CheckResult(name, passed, detail)
+
+
+def check_within_factor(
+    name: str, measured: float, reference: float, factor: float
+) -> CheckResult:
+    """Is ``measured`` within [reference/factor, reference*factor]?"""
+    if reference <= 0 or measured <= 0:
+        return CheckResult(name, False, "non-positive values")
+    ratio = measured / reference
+    passed = (1.0 / factor) <= ratio <= factor
+    return CheckResult(
+        name, passed, "measured/reference = %.3f (allowed %.2fx)" % (ratio, factor)
+    )
+
+
+def check_monotone_decreasing(
+    name: str, series: Sequence[float], slack: float = 0.0
+) -> CheckResult:
+    """Does the series decrease (within a relative slack per step)?"""
+    violations = [
+        (i, series[i], series[i + 1])
+        for i in range(len(series) - 1)
+        if series[i + 1] > series[i] * (1.0 + slack)
+    ]
+    detail = "series=%s" % (["%.4g" % v for v in series],)
+    if violations:
+        detail += "; violations at %s" % ([v[0] for v in violations],)
+    return CheckResult(name, not violations, detail)
+
+
+def check_monotone_increasing(
+    name: str, series: Sequence[float], slack: float = 0.0
+) -> CheckResult:
+    """Does the series increase (within a relative slack per step)?"""
+    violations = [
+        i
+        for i in range(len(series) - 1)
+        if series[i + 1] < series[i] * (1.0 - slack)
+    ]
+    detail = "series=%s" % (["%.4g" % v for v in series],)
+    if violations:
+        detail += "; violations at %s" % (violations,)
+    return CheckResult(name, not violations, detail)
+
+
+def check_ratio_band(
+    name: str,
+    numerator: float,
+    denominator: float,
+    low: float,
+    high: Optional[float] = None,
+) -> CheckResult:
+    """Is numerator/denominator inside [low, high]?"""
+    if denominator <= 0:
+        return CheckResult(name, False, "non-positive denominator")
+    ratio = numerator / denominator
+    passed = ratio >= low and (high is None or ratio <= high)
+    bound = ">= %.2f" % low if high is None else "in [%.2f, %.2f]" % (low, high)
+    return CheckResult(name, passed, "ratio %.3f (%s)" % (ratio, bound))
+
+
+def all_passed(checks: Sequence[CheckResult]) -> bool:
+    return all(check.passed for check in checks)
+
+
+def failures(checks: Sequence[CheckResult]) -> List[CheckResult]:
+    return [check for check in checks if not check.passed]

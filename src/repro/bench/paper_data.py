@@ -1,0 +1,164 @@
+"""The paper's published numbers and claims, as reference data.
+
+Table 3 is the only artifact the paper publishes as exact numbers;
+the figures publish axes and curves, so for them we record the
+*claims* the text and plots make (orderings, monotonicity, axis
+ranges from eyeballing the plots) and verify those.  EXPERIMENTS.md
+documents this distinction.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE3_RTT_MS",
+    "TABLE3_SIZES_KB",
+    "TABLE4_EXPECTED_RANKINGS",
+    "FIGURE_CLAIMS",
+    "APL_PLATFORM_AXES",
+]
+
+#: Table 3 — snd/recv round-trip times in milliseconds on SUN
+#: SPARCstations, exactly as printed.  Keys: (tool, platform catalog
+#: name); values: {message size KB: ms}.  Express was not measured on
+#: the ATM WAN.
+TABLE3_RTT_MS = {
+    ("pvm", "sun-ethernet"): {
+        0: 9.655, 1: 11.693, 2: 14.306, 4: 25.537,
+        8: 44.392, 16: 61.096, 32: 109.844, 64: 189.120,
+    },
+    ("pvm", "sun-atm-lan"): {
+        0: 7.991, 1: 8.678, 2: 9.896, 4: 13.673,
+        8: 18.574, 16: 27.365, 32: 48.028, 64: 88.176,
+    },
+    ("pvm", "sun-atm-wan"): {
+        0: 7.764, 1: 8.878, 2: 10.105, 4: 14.665,
+        8: 19.526, 16: 28.679, 32: 53.320, 64: 91.353,
+    },
+    ("p4", "sun-ethernet"): {
+        0: 3.199, 1: 3.599, 2: 4.399, 4: 9.332,
+        8: 24.165, 16: 44.164, 32: 98.996, 64: 173.158,
+    },
+    ("p4", "sun-atm-lan"): {
+        0: 2.966, 1: 3.393, 2: 3.748, 4: 4.404,
+        8: 6.482, 16: 11.191, 32: 19.104, 64: 35.899,
+    },
+    ("p4", "sun-atm-wan"): {
+        0: 3.636, 1: 4.168, 2: 4.822, 4: 5.069,
+        8: 7.459, 16: 13.573, 32: 22.254, 64: 41.725,
+    },
+    ("express", "sun-ethernet"): {
+        0: 4.807, 1: 10.375, 2: 18.362, 4: 32.669,
+        8: 59.166, 16: 111.411, 32: 189.760, 64: 311.700,
+    },
+    ("express", "sun-atm-lan"): {
+        0: 4.152, 1: 7.240, 2: 11.061, 4: 16.990,
+        8: 27.047, 16: 46.003, 32: 82.566, 64: 153.970,
+    },
+}
+
+#: The message sizes of Table 3, in KB.
+TABLE3_SIZES_KB = (0, 1, 2, 4, 8, 16, 32, 64)
+
+#: Table 4 — tool orderings (best first) per platform and primitive
+#: class, exactly as printed.  The global-sum column omits PVM
+#: ("Not Available") and the paper prints no ATM global-sum column.
+TABLE4_EXPECTED_RANKINGS = {
+    "sun-ethernet": {
+        "snd/rcv": ["p4", "pvm", "express"],
+        "broadcast": ["p4", "pvm", "express"],
+        "ring": ["p4", "express", "pvm"],
+        "global sum": ["p4", "express"],
+    },
+    "sun-atm-lan": {
+        "snd/rcv": ["p4", "pvm", "express"],
+        "broadcast": ["p4", "pvm"],
+        "ring": ["p4", "pvm"],
+    },
+}
+
+#: Claims carried by the figures (orderings at the large-message end,
+#: which tools appear, and the printed y-axis range in ms for scale
+#: context — axis ranges are documentation, not assertions).
+FIGURE_CLAIMS = {
+    "fig2-broadcast-ethernet": {
+        "platform": "sun-ethernet",
+        "tools": ["pvm", "p4", "express"],
+        "large_message_order": ["p4", "pvm", "express"],
+        "paper_axis_ms": (0, 600),
+    },
+    "fig2-broadcast-atm": {
+        "platform": "sun-atm-wan",
+        "tools": ["pvm", "p4"],
+        "large_message_order": ["p4", "pvm"],
+        "paper_axis_ms": (0, 350),
+    },
+    "fig3-ring-ethernet": {
+        "platform": "sun-ethernet",
+        "tools": ["pvm", "p4", "express"],
+        "large_message_order": ["p4", "express", "pvm"],
+        "paper_axis_ms": (0, 800),
+    },
+    "fig3-ring-atm": {
+        "platform": "sun-atm-wan",
+        "tools": ["pvm", "p4"],
+        "large_message_order": ["p4", "pvm"],
+        "paper_axis_ms": (0, 700),
+    },
+    "fig4-globalsum": {
+        # Series: p4 and Express on Ethernet, p4 on NYNET.
+        "series": ["p4-ethernet", "express-ethernet", "p4-nynet"],
+        "order": ["p4-ethernet", "p4-nynet", "express-ethernet"],
+        "paper_axis_ms": (0, 12000),
+        "max_vector_ints": 100_000,
+    },
+}
+
+#: Figures 5-8 — per-platform application panels: the y-axis ranges
+#: printed in the paper (seconds), for scale context in EXPERIMENTS.md,
+#: and the tool set plotted.
+APL_PLATFORM_AXES = {
+    "alpha-fddi": {
+        "figure": "Figure 5",
+        "processors": (1, 2, 3, 4, 5, 6, 7, 8),
+        "tools": ["express", "p4", "pvm"],
+        "paper_axis_seconds": {
+            "fft2d": (0.004, 0.014),
+            "jpeg": (1.0, 4.5),
+            "montecarlo": (0.2, 1.8),
+            "psrs": (0.4, 0.85),
+        },
+    },
+    "sp1-switch": {
+        "figure": "Figure 6",
+        "processors": (1, 2, 3, 4, 5, 6, 7, 8),
+        "tools": ["express", "p4", "pvm"],
+        "paper_axis_seconds": {
+            "fft2d": (0.0, 0.06),
+            "jpeg": (1.0, 10.0),
+            "montecarlo": (0.0, 3.0),
+            "psrs": (0.8, 2.2),
+        },
+    },
+    "sun-atm-wan": {
+        "figure": "Figure 7",
+        "processors": (1, 2, 3, 4),
+        "tools": ["p4", "pvm"],
+        "paper_axis_seconds": {
+            "fft2d": (0.01, 0.026),
+            "jpeg": (6.0, 22.0),
+            "montecarlo": (2.0, 8.0),
+            "psrs": (1.0, 10.0),
+        },
+    },
+    "sun-ethernet": {
+        "figure": "Figure 8",
+        "processors": (1, 2, 3, 4, 5, 6, 7, 8),
+        "tools": ["express", "p4", "pvm"],
+        "paper_axis_seconds": {
+            "fft2d": (0.0, 1.4),
+            "jpeg": (5.0, 40.0),
+            "montecarlo": (2.0, 10.0),
+            "psrs": (2.0, 22.0),
+        },
+    },
+}

@@ -1,0 +1,43 @@
+"""Run experiments by id and print their reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+from repro.errors import ConfigurationError
+
+__all__ = ["available_experiments", "run_experiment", "run_experiments"]
+
+
+def available_experiments() -> List[str]:
+    """All experiment ids, in registry order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        factory = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown experiment %r; available: %s"
+            % (exp_id, ", ".join(available_experiments()))
+        )
+    return factory()
+
+
+def run_experiments(
+    exp_ids: Optional[Iterable[str]] = None, echo: bool = True
+) -> List[ExperimentResult]:
+    """Run several (default: all) experiments, printing each report."""
+    if exp_ids is None:
+        exp_ids = available_experiments()
+    results = []
+    for exp_id in exp_ids:
+        result = run_experiment(exp_id)
+        if echo:
+            print(result.render())
+            print()
+        results.append(result)
+    return results

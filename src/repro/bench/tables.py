@@ -1,0 +1,48 @@
+"""Plain-text table and series formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Align columns; returns a printable table."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row has %d cells, expected %d" % (len(row), columns))
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    unit: str = "ms",
+    precision: int = 3,
+) -> str:
+    """One row per x value, one column per named series."""
+    names = list(series)
+    headers = [x_label] + ["%s (%s)" % (name, unit) for name in names]
+    rows: List[List[str]] = []
+    for index, x in enumerate(x_values):
+        row = [str(x)]
+        for name in names:
+            value = series[name][index]
+            row.append("n/a" if value is None else "%.*f" % (precision, value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

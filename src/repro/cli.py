@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro evaluate --platform sun-ethernet --profile end-user
+    python -m repro experiment table3 fig4
+    python -m repro usability
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro._version import __version__
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-level evaluation of parallel/distributed computing tools "
+            "(reproduction of Hariri et al., 1995)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version="repro %s" % __version__)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list platforms, tools, experiments and profiles")
+
+    evaluate = sub.add_parser("evaluate", help="run the three-level evaluation")
+    evaluate.add_argument("--platform", default="sun-ethernet")
+    evaluate.add_argument("--processors", type=int, default=4)
+    evaluate.add_argument("--profile", default="balanced")
+    evaluate.add_argument("--tools", nargs="+", default=None)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    experiment.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+
+    sub.add_parser("usability", help="print the ADL usability matrix")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.apps.suite import BENCHMARKED_APPS, EXTENSION_APPS
+    from repro.bench.runner import available_experiments
+    from repro.core.weights import PRESET_PROFILES
+    from repro.hardware.catalog import PLATFORM_NAMES
+    from repro.tools.registry import TOOL_NAMES
+
+    print("platforms:   %s" % ", ".join(PLATFORM_NAMES))
+    print("tools:       %s" % ", ".join(TOOL_NAMES))
+    print("apps:        %s (paper) + %s (extensions)"
+          % (", ".join(BENCHMARKED_APPS), ", ".join(EXTENSION_APPS)))
+    print("profiles:    %s" % ", ".join(sorted(PRESET_PROFILES)))
+    print("experiments: %s" % ", ".join(available_experiments()))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core.evaluation import evaluate_tools
+    from repro.core.weights import PRESET_PROFILES
+    from repro.errors import ReproError
+    from repro.tools.registry import PAPER_TOOL_NAMES
+
+    if args.profile not in PRESET_PROFILES:
+        print("unknown profile %r; available: %s"
+              % (args.profile, ", ".join(sorted(PRESET_PROFILES))))
+        return 2
+    tools = tuple(args.tools) if args.tools else PAPER_TOOL_NAMES
+    try:
+        report = evaluate_tools(
+            platform=args.platform,
+            processors=args.processors,
+            tools=tools,
+            profile=PRESET_PROFILES[args.profile],
+            seed=args.seed,
+        )
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    print(report.summary())
+    return 0
+
+
+def _cmd_experiment(ids: List[str]) -> int:
+    from repro.bench.runner import available_experiments, run_experiments
+    from repro.errors import ReproError
+
+    requested = ids or None
+    if requested:
+        unknown = set(requested) - set(available_experiments())
+        if unknown:
+            print("unknown experiments: %s" % ", ".join(sorted(unknown)))
+            print("available: %s" % ", ".join(available_experiments()))
+            return 2
+    try:
+        results = run_experiments(requested)
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    failed = [result for result in results if not result.passed]
+    print("%d/%d artifacts reproduce the paper's claims"
+          % (len(results) - len(failed), len(results)))
+    return 1 if failed else 0
+
+
+def _cmd_usability() -> int:
+    from repro.core.report import render_usability_table
+
+    print(render_usability_table())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.ids)
+    if args.command == "usability":
+        return _cmd_usability()
+    parser.print_help()
+    return 0

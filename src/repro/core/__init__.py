@@ -1,0 +1,62 @@
+"""The paper's contribution: the multi-level evaluation methodology."""
+
+from repro.core.criteria import ADL_CRITERIA, Criterion, NS, PS, Rating, WS
+from repro.core.evaluation import (
+    EvaluationReport,
+    Evaluator,
+    ToolEvaluation,
+    evaluate_tools,
+)
+from repro.core.levels import ADL, APL, EvaluationLevel, STANDARD_LEVELS, TPL
+from repro.core.metrics import (
+    Measurement,
+    MeasurementSet,
+    aggregate_scores,
+    rank_by_value,
+    ratio_scores,
+)
+from repro.core.ranking import PRIMITIVE_CLASSES, primitive_rankings, summary_table
+from repro.core.usability import USABILITY_MATRIX, adl_score, usability_ratings
+from repro.core.weights import (
+    APPLICATION_DEVELOPER,
+    BALANCED,
+    END_USER,
+    PRESET_PROFILES,
+    TOOL_DEVELOPER,
+    WeightProfile,
+)
+
+__all__ = [
+    "ADL",
+    "ADL_CRITERIA",
+    "APL",
+    "APPLICATION_DEVELOPER",
+    "BALANCED",
+    "Criterion",
+    "END_USER",
+    "EvaluationLevel",
+    "EvaluationReport",
+    "Evaluator",
+    "Measurement",
+    "MeasurementSet",
+    "NS",
+    "PRESET_PROFILES",
+    "PRIMITIVE_CLASSES",
+    "PS",
+    "Rating",
+    "STANDARD_LEVELS",
+    "TOOL_DEVELOPER",
+    "TPL",
+    "ToolEvaluation",
+    "USABILITY_MATRIX",
+    "WS",
+    "WeightProfile",
+    "adl_score",
+    "aggregate_scores",
+    "evaluate_tools",
+    "primitive_rankings",
+    "rank_by_value",
+    "ratio_scores",
+    "summary_table",
+    "usability_ratings",
+]

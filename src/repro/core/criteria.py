@@ -1,0 +1,85 @@
+"""Usability criteria and the WS/PS/NS rating scale (Section 2.3).
+
+The paper rates each Application-Development-Level criterion as
+well supported (WS), partially supported (PS) or not supported (NS).
+Scores map WS -> 1.0, PS -> 0.5, NS -> 0.0 so they compose with the
+performance levels' [0, 1] ratio scores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = ["Rating", "WS", "PS", "NS", "Criterion", "ADL_CRITERIA"]
+
+
+class Rating(object):
+    """One point on the paper's support scale."""
+
+    __slots__ = ("code", "label", "score")
+
+    def __init__(self, code: str, label: str, score: float) -> None:
+        self.code = code
+        self.label = label
+        self.score = score
+
+    def __repr__(self) -> str:
+        return "<Rating %s (%.1f)>" % (self.code, self.score)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Rating):
+            return self.code == other.code
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.code)
+
+    @classmethod
+    def from_code(cls, code: str) -> "Rating":
+        try:
+            return _RATINGS[code.upper()]
+        except KeyError:
+            raise EvaluationError(
+                "unknown rating %r; expected one of %s" % (code, ", ".join(_RATINGS))
+            )
+
+
+WS = Rating("WS", "well supported", 1.0)
+PS = Rating("PS", "partially supported", 0.5)
+NS = Rating("NS", "not supported", 0.0)
+
+_RATINGS: Dict[str, Rating] = {r.code: r for r in (WS, PS, NS)}
+
+
+class Criterion(object):
+    """One ADL criterion, with a default weight in the ADL score."""
+
+    __slots__ = ("key", "title", "weight")
+
+    def __init__(self, key: str, title: str, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise EvaluationError("criterion weight must be non-negative")
+        self.key = key
+        self.title = title
+        self.weight = weight
+
+    def __repr__(self) -> str:
+        return "<Criterion %s w=%g>" % (self.key, self.weight)
+
+
+#: The nine rows of the paper's usability table (Section 3.3.1), in
+#: presentation order.  Weights default to equal importance; weight
+#: profiles may override per-criterion emphasis.
+ADL_CRITERIA: Tuple[Criterion, ...] = (
+    Criterion("programming-models", "Programming Models Supported"),
+    Criterion("language-interface", "Language Interface"),
+    Criterion("ease-of-programming", "Ease of Programming"),
+    Criterion("debugging-support", "Debugging Support"),
+    Criterion("customization", "Customization"),
+    Criterion("error-handling", "Error Handling"),
+    Criterion("run-time-interface", "Run-Time Interface"),
+    Criterion("integration", "Integration with other Software Systems"),
+    Criterion("portability", "Portability"),
+)

@@ -1,0 +1,302 @@
+"""The multi-level evaluator: the paper's methodology, executable.
+
+:class:`Evaluator` measures each tool at the Tool Performance Level
+(primitive micro-benchmarks) and the Application Performance Level
+(the four SU PDABS applications), scores the Application Development
+Level from the usability matrix, and combines the three with a
+:class:`~repro.core.weights.WeightProfile` into an overall ranking —
+objective 1 of the paper: "enabling the selection of the most
+appropriate PDC tools for a particular application class and system
+configuration".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import measurements
+from repro.core.levels import ADL, APL, EvaluationLevel, TPL
+from repro.core.metrics import MeasurementSet, Measurement, aggregate_scores
+from repro.core.usability import adl_score
+from repro.core.weights import BALANCED, WeightProfile
+from repro.errors import EvaluationError
+from repro.tools.registry import PAPER_TOOL_NAMES, TOOL_CLASSES
+
+__all__ = ["ToolEvaluation", "EvaluationReport", "Evaluator", "evaluate_tools"]
+
+#: Message sizes (bytes) for the TPL sweeps: small / medium / large.
+_DEFAULT_TPL_SIZES = (1024, 16384, 65536)
+
+#: Quick application workloads used for scoring runs (the full paper
+#: workloads live in the figure benchmarks, where runtime is expected).
+_DEFAULT_APP_PARAMS = {
+    "jpeg": {"height": 256, "width": 256},
+    "fft2d": {"size": 64},
+    "montecarlo": {"samples": 200_000},
+    "psrs": {"keys": 50_000},
+}
+
+
+class ToolEvaluation(object):
+    """All three level scores for one tool, plus the overall score."""
+
+    def __init__(
+        self,
+        tool: str,
+        level_scores: Dict[EvaluationLevel, float],
+        overall: float,
+        detail: Dict[str, Dict[str, float]],
+    ) -> None:
+        self.tool = tool
+        self.level_scores = level_scores
+        self.overall = overall
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return "<ToolEvaluation %s overall=%.3f>" % (self.tool, self.overall)
+
+
+class EvaluationReport(object):
+    """The outcome of one evaluation: scores, ranking, rendering."""
+
+    def __init__(
+        self,
+        platform_name: str,
+        processors: int,
+        profile: WeightProfile,
+        evaluations: List[ToolEvaluation],
+        tpl_sets: List[MeasurementSet],
+        apl_sets: List[MeasurementSet],
+    ) -> None:
+        self.platform_name = platform_name
+        self.processors = processors
+        self.profile = profile
+        self.evaluations = sorted(evaluations, key=lambda e: -e.overall)
+        self.tpl_sets = tpl_sets
+        self.apl_sets = apl_sets
+
+    def __repr__(self) -> str:
+        return "<EvaluationReport %s: %s>" % (
+            self.platform_name,
+            ", ".join("%s=%.2f" % (e.tool, e.overall) for e in self.evaluations),
+        )
+
+    def ranking(self) -> List[str]:
+        """Tools ordered by overall score, best first."""
+        return [evaluation.tool for evaluation in self.evaluations]
+
+    def best_tool(self) -> str:
+        return self.evaluations[0].tool
+
+    def scores(self) -> Dict[str, Dict[str, float]]:
+        """tool -> {"tpl": ..., "apl": ..., "adl": ..., "overall": ...}."""
+        table = {}
+        for evaluation in self.evaluations:
+            row = {
+                level.key: score for level, score in evaluation.level_scores.items()
+            }
+            row["overall"] = evaluation.overall
+            table[evaluation.tool] = row
+        return table
+
+    def summary(self) -> str:
+        """Human-readable report (lazy import keeps modules decoupled)."""
+        from repro.core.report import render_report
+
+        return render_report(self)
+
+
+class Evaluator(object):
+    """Configures and runs the three-level evaluation.
+
+    Parameters
+    ----------
+    platform:
+        Catalog platform name (e.g. ``"sun-ethernet"``).
+    processors:
+        Ranks for the collective/application benchmarks (default 4).
+    tools:
+        Tools to evaluate (default: the paper's three).
+    tpl_sizes:
+        Message sizes for the primitive sweeps.
+    global_sum_ints:
+        Vector length for the global-sum benchmark.
+    app_params:
+        Per-application workload overrides.
+    seed:
+        Root seed for all runs.
+    """
+
+    def __init__(
+        self,
+        platform: str,
+        processors: int = 4,
+        tools: Sequence[str] = PAPER_TOOL_NAMES,
+        tpl_sizes: Sequence[int] = _DEFAULT_TPL_SIZES,
+        global_sum_ints: int = 25_000,
+        apps: Optional[Sequence[str]] = None,
+        app_params: Optional[Dict[str, dict]] = None,
+        seed: int = 0,
+    ) -> None:
+        # Check the live registry so tools registered at run time
+        # (examples/custom_tool.py) evaluate like the built-ins.
+        unknown = [tool for tool in tools if tool not in TOOL_CLASSES]
+        if unknown:
+            raise EvaluationError("unknown tools: %s" % ", ".join(unknown))
+        if processors < 2:
+            raise EvaluationError("evaluation needs at least 2 processors")
+        self.platform = platform
+        self.processors = processors
+        self.tools = list(tools)
+        self.tpl_sizes = list(tpl_sizes)
+        self.global_sum_ints = global_sum_ints
+        self.apps = list(apps) if apps is not None else sorted(_DEFAULT_APP_PARAMS)
+        self.app_params = dict(_DEFAULT_APP_PARAMS)
+        if app_params:
+            for name, params in app_params.items():
+                self.app_params[name] = params
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Level measurements
+    # ------------------------------------------------------------------
+
+    def measure_tpl(self) -> List[MeasurementSet]:
+        """All primitive measurement sets (one per primitive x size)."""
+        sets = []
+        for nbytes in self.tpl_sizes:
+            sets.append(
+                MeasurementSet(
+                    "send/receive %dB" % nbytes,
+                    [
+                        Measurement(
+                            tool,
+                            measurements.measure_sendrecv(
+                                tool, self.platform, nbytes, seed=self.seed
+                            ),
+                        )
+                        for tool in self.tools
+                    ],
+                )
+            )
+            sets.append(
+                MeasurementSet(
+                    "broadcast %dB" % nbytes,
+                    [
+                        Measurement(
+                            tool,
+                            measurements.measure_broadcast(
+                                tool, self.platform, nbytes,
+                                processors=self.processors, seed=self.seed,
+                            ),
+                        )
+                        for tool in self.tools
+                    ],
+                )
+            )
+            sets.append(
+                MeasurementSet(
+                    "ring %dB" % nbytes,
+                    [
+                        Measurement(
+                            tool,
+                            measurements.measure_ring(
+                                tool, self.platform, nbytes,
+                                processors=self.processors, seed=self.seed,
+                            ),
+                        )
+                        for tool in self.tools
+                    ],
+                )
+            )
+        sets.append(
+            MeasurementSet(
+                "global sum %d ints" % self.global_sum_ints,
+                [
+                    Measurement(
+                        tool,
+                        measurements.measure_global_sum(
+                            tool, self.platform, self.global_sum_ints,
+                            processors=self.processors, seed=self.seed,
+                        ),
+                    )
+                    for tool in self.tools
+                ],
+            )
+        )
+        return sets
+
+    def measure_apl(self) -> List[MeasurementSet]:
+        """Application measurement sets (one per application)."""
+        sets = []
+        for app_name in self.apps:
+            params = self.app_params.get(app_name, {})
+            sets.append(
+                MeasurementSet(
+                    app_name,
+                    [
+                        Measurement(
+                            tool,
+                            measurements.measure_application(
+                                app_name, tool, self.platform,
+                                processors=self.processors, seed=self.seed, **params,
+                            ),
+                        )
+                        for tool in self.tools
+                    ],
+                )
+            )
+        return sets
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def run(self, profile: WeightProfile = BALANCED) -> EvaluationReport:
+        """Measure everything and produce the weighted report."""
+        tpl_sets = self.measure_tpl()
+        apl_sets = self.measure_apl()
+
+        tpl_scores = aggregate_scores([s.scores() for s in tpl_sets])
+        apl_scores = aggregate_scores([s.scores() for s in apl_sets])
+        adl_scores = {tool: adl_score(tool) for tool in self.tools}
+
+        evaluations = []
+        for tool in self.tools:
+            level_scores = {
+                TPL: tpl_scores[tool],
+                APL: apl_scores[tool],
+                ADL: adl_scores[tool],
+            }
+            overall = profile.overall(level_scores)
+            detail = {
+                "tpl": {s.name: s.scores()[tool] for s in tpl_sets},
+                "apl": {s.name: s.scores()[tool] for s in apl_sets},
+            }
+            evaluations.append(ToolEvaluation(tool, level_scores, overall, detail))
+
+        return EvaluationReport(
+            self.platform, self.processors, profile, evaluations, tpl_sets, apl_sets
+        )
+
+
+def evaluate_tools(
+    platform: str = "sun-ethernet",
+    processors: int = 4,
+    tools: Sequence[str] = PAPER_TOOL_NAMES,
+    profile: WeightProfile = BALANCED,
+    seed: int = 0,
+    **evaluator_options,
+) -> EvaluationReport:
+    """One-call evaluation: the library's quickstart entry point.
+
+    Examples
+    --------
+    >>> report = evaluate_tools(platform="sun-ethernet", processors=4)
+    >>> report.best_tool()
+    'p4'
+    """
+    evaluator = Evaluator(
+        platform, processors=processors, tools=tools, seed=seed, **evaluator_options
+    )
+    return evaluator.run(profile)

@@ -1,0 +1,64 @@
+"""The three evaluation levels of the methodology (Section 2).
+
+* **TPL** — Tool Performance Level: primitive micro-benchmarks.
+* **APL** — Application Performance Level: end-to-end applications.
+* **ADL** — Application Development Level: usability criteria.
+
+"Other levels can be added if necessary" (Section 2) — the level
+registry is open: :class:`EvaluationLevel` instances are hashable
+values and the weighting machinery accepts any of them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["EvaluationLevel", "TPL", "APL", "ADL", "STANDARD_LEVELS"]
+
+
+class EvaluationLevel(object):
+    """One perspective from which tools are evaluated."""
+
+    __slots__ = ("key", "title", "description")
+
+    def __init__(self, key: str, title: str, description: str) -> None:
+        self.key = key
+        self.title = title
+        self.description = description
+
+    def __repr__(self) -> str:
+        return "<EvaluationLevel %s>" % self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, EvaluationLevel):
+            return self.key == other.key
+        return NotImplemented
+
+
+TPL = EvaluationLevel(
+    "tpl",
+    "Tool Performance Level",
+    "Performance of the tool's primitives (send/receive, broadcast, "
+    "ring, global operations) on distributed platforms.",
+)
+
+APL = EvaluationLevel(
+    "apl",
+    "Application Performance Level",
+    "Execution time of representative parallel/distributed "
+    "applications implemented with the tool.",
+)
+
+ADL = EvaluationLevel(
+    "adl",
+    "Application Development Level",
+    "The tool's support for developing applications: programming "
+    "models, languages, development interface, run-time interface, "
+    "integration and portability.",
+)
+
+#: The paper's three levels, in presentation order.
+STANDARD_LEVELS: Tuple[EvaluationLevel, ...] = (TPL, APL, ADL)

@@ -1,0 +1,86 @@
+"""Text rendering of evaluation reports."""
+
+from __future__ import annotations
+
+from repro.core.criteria import ADL_CRITERIA
+from repro.core.levels import ADL, APL, TPL
+from repro.core.usability import usability_ratings
+
+__all__ = ["render_report", "render_usability_table"]
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def render_report(report) -> str:
+    """Render an :class:`~repro.core.evaluation.EvaluationReport`."""
+    lines = []
+    lines.append(_rule())
+    lines.append("Multi-Level Tool Evaluation Report")
+    lines.append(_rule())
+    lines.append("Platform:   %s (%d processors)" % (report.platform_name, report.processors))
+    weights = ", ".join(
+        "%s=%.2f" % (level.key.upper(), weight)
+        for level, weight in sorted(report.profile.levels.items(), key=lambda i: i[0].key)
+    )
+    lines.append("Weights:    %s (%s)" % (weights, report.profile.name))
+    lines.append("")
+
+    lines.append(
+        "%-10s %8s %8s %8s %9s  %s" % ("Tool", "TPL", "APL", "ADL", "Overall", "Rank")
+    )
+    for position, evaluation in enumerate(report.evaluations, start=1):
+        lines.append(
+            "%-10s %8.3f %8.3f %8.3f %9.3f  %4d"
+            % (
+                evaluation.tool,
+                evaluation.level_scores[TPL],
+                evaluation.level_scores[APL],
+                evaluation.level_scores[ADL],
+                evaluation.overall,
+                position,
+            )
+        )
+    lines.append("")
+
+    lines.append("TPL detail (score = best time / tool time; 0 = not available)")
+    for measurement_set in report.tpl_sets:
+        scores = measurement_set.scores()
+        row = "  %-24s " % measurement_set.name
+        row += "  ".join(
+            "%s=%.3f" % (evaluation.tool, scores[evaluation.tool])
+            for evaluation in report.evaluations
+        )
+        lines.append(row)
+    lines.append("")
+
+    lines.append("APL detail")
+    for measurement_set in report.apl_sets:
+        values = measurement_set.values()
+        row = "  %-24s " % measurement_set.name
+        row += "  ".join(
+            "%s=%.3fs" % (evaluation.tool, values[evaluation.tool])
+            for evaluation in report.evaluations
+        )
+        lines.append(row)
+    lines.append("")
+
+    lines.append("Best tool for this configuration: %s" % report.best_tool())
+    lines.append(_rule())
+    return "\n".join(lines)
+
+
+def render_usability_table(tools=("p4", "pvm", "express")) -> str:
+    """Render the ADL matrix in the paper's Section 3.3.1 layout."""
+    ratings = {tool: usability_ratings(tool) for tool in tools}
+    width = max(len(criterion.title) for criterion in ADL_CRITERIA) + 2
+    lines = []
+    header = "Criterion".ljust(width) + "".join(tool.ljust(10) for tool in tools)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for criterion in ADL_CRITERIA:
+        row = criterion.title.ljust(width)
+        row += "".join(ratings[tool][criterion.key].code.ljust(10) for tool in tools)
+        lines.append(row)
+    return "\n".join(lines)

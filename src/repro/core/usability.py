@@ -1,0 +1,64 @@
+"""The paper's ADL assessment of p4, PVM and Express (Section 3.3.1).
+
+This table is reproduced verbatim from the paper; it is *assessment
+data*, the input the methodology scores, not something the simulation
+measures.  The MPI extension column is our own assessment applying
+the same criteria to 1995-era MPICH, used only by the extension
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.criteria import ADL_CRITERIA, NS, PS, Rating, WS
+from repro.errors import EvaluationError
+
+__all__ = ["USABILITY_MATRIX", "usability_ratings", "adl_score"]
+
+#: criterion key -> {tool name -> Rating}.  The p4/PVM/Express columns
+#: are the paper's table, row by row.
+USABILITY_MATRIX: Dict[str, Dict[str, Rating]] = {
+    "programming-models": {"p4": WS, "pvm": WS, "express": WS, "mpi": WS},
+    "language-interface": {"p4": WS, "pvm": WS, "express": WS, "mpi": WS},
+    "ease-of-programming": {"p4": PS, "pvm": WS, "express": PS, "mpi": PS},
+    "debugging-support": {"p4": PS, "pvm": PS, "express": WS, "mpi": PS},
+    "customization": {"p4": PS, "pvm": NS, "express": PS, "mpi": PS},
+    "error-handling": {"p4": PS, "pvm": PS, "express": PS, "mpi": PS},
+    "run-time-interface": {"p4": PS, "pvm": WS, "express": WS, "mpi": PS},
+    "integration": {"p4": PS, "pvm": WS, "express": NS, "mpi": PS},
+    "portability": {"p4": WS, "pvm": WS, "express": WS, "mpi": WS},
+}
+
+
+def usability_ratings(tool_name: str) -> Dict[str, Rating]:
+    """All criterion ratings for one tool.
+
+    Raises
+    ------
+    EvaluationError
+        If the tool has no assessment column.
+    """
+    ratings = {}
+    for criterion in ADL_CRITERIA:
+        row = USABILITY_MATRIX[criterion.key]
+        if tool_name not in row:
+            raise EvaluationError(
+                "no usability assessment for tool %r (criterion %s)"
+                % (tool_name, criterion.key)
+            )
+        ratings[criterion.key] = row[tool_name]
+    return ratings
+
+
+def adl_score(tool_name: str, criteria: Iterable = ADL_CRITERIA) -> float:
+    """Weighted ADL score in [0, 1] for one tool."""
+    criteria = list(criteria)
+    total_weight = sum(criterion.weight for criterion in criteria)
+    if total_weight <= 0:
+        raise EvaluationError("ADL criteria weights sum to zero")
+    ratings = usability_ratings(tool_name)
+    weighted = sum(
+        criterion.weight * ratings[criterion.key].score for criterion in criteria
+    )
+    return weighted / total_weight

@@ -1,0 +1,85 @@
+"""Weight profiles: tailoring the evaluation to a user class.
+
+Section 2: "By using weight factors, an overall tool evaluation can be
+tailored to take into account the most relevant factors associated
+with certain types of users" — the paper's example being the end user
+(response time) versus the system manager (utilization/throughput).
+A profile fixes the relative importance of the three levels; the
+presets encode the obvious user classes and custom profiles are one
+constructor call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.levels import ADL, APL, EvaluationLevel, TPL
+from repro.errors import EvaluationError
+
+__all__ = ["WeightProfile", "BALANCED", "END_USER", "APPLICATION_DEVELOPER", "TOOL_DEVELOPER", "PRESET_PROFILES"]
+
+
+class WeightProfile(object):
+    """Relative importance of each evaluation level.
+
+    Weights need not sum to one; they are normalized internally.
+    """
+
+    def __init__(self, name: str, level_weights: Mapping[EvaluationLevel, float]) -> None:
+        if not level_weights:
+            raise EvaluationError("a weight profile needs at least one level")
+        weights = {}
+        for level, weight in level_weights.items():
+            if not isinstance(level, EvaluationLevel):
+                raise EvaluationError("weight keys must be EvaluationLevel, got %r" % (level,))
+            if weight < 0:
+                raise EvaluationError("level weight must be non-negative")
+            weights[level] = float(weight)
+        total = sum(weights.values())
+        if total <= 0:
+            raise EvaluationError("level weights sum to zero")
+        self.name = name
+        self._weights = {level: weight / total for level, weight in weights.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "%s=%.2f" % (level.key, weight) for level, weight in sorted(
+                self._weights.items(), key=lambda item: item[0].key
+            )
+        )
+        return "<WeightProfile %s: %s>" % (self.name, inner)
+
+    def weight(self, level: EvaluationLevel) -> float:
+        """Normalized weight of ``level`` (0 if absent)."""
+        return self._weights.get(level, 0.0)
+
+    @property
+    def levels(self) -> Dict[EvaluationLevel, float]:
+        return dict(self._weights)
+
+    def overall(self, level_scores: Mapping[EvaluationLevel, float]) -> float:
+        """Combine per-level scores into the overall tool score."""
+        missing = [level.key for level in self._weights if level not in level_scores]
+        if missing:
+            raise EvaluationError("missing scores for levels: %s" % ", ".join(missing))
+        return sum(
+            weight * level_scores[level] for level, weight in self._weights.items()
+        )
+
+
+#: Equal emphasis on all three levels.
+BALANCED = WeightProfile("balanced", {TPL: 1.0, APL: 1.0, ADL: 1.0})
+
+#: An end user running existing applications: response time rules.
+END_USER = WeightProfile("end-user", {TPL: 0.2, APL: 0.6, ADL: 0.2})
+
+#: A team building new applications: development support matters most.
+APPLICATION_DEVELOPER = WeightProfile("application-developer", {TPL: 0.2, APL: 0.3, ADL: 0.5})
+
+#: A tool/library developer studying primitive efficiency.
+TOOL_DEVELOPER = WeightProfile("tool-developer", {TPL: 0.6, APL: 0.3, ADL: 0.1})
+
+PRESET_PROFILES = {
+    profile.name: profile
+    for profile in (BALANCED, END_USER, APPLICATION_DEVELOPER, TOOL_DEVELOPER)
+}

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific failures derive from :class:`ReproError` so callers
+can catch everything from this library with a single except clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NetworkError",
+    "ToolError",
+    "UnsupportedOperationError",
+    "ApplicationError",
+    "EvaluationError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A platform, tool, or experiment was configured inconsistently."""
+
+
+class NetworkError(ReproError):
+    """A network substrate failure (bad endpoint, link down, overflow)."""
+
+
+class ToolError(ReproError):
+    """A message-passing tool runtime failure (bad rank, bad tag, ...)."""
+
+
+class UnsupportedOperationError(ToolError):
+    """The tool does not provide the requested primitive.
+
+    Mirrors the paper: PVM 3.x provides no global reduction operation,
+    so asking the PVM runtime for ``global_sum`` raises this.
+    """
+
+
+class ApplicationError(ReproError):
+    """A benchmark application failed (bad input, verification failure)."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation methodology was applied inconsistently."""
+
+
+class CalibrationError(ReproError):
+    """Calibration data is missing or malformed."""

@@ -1,0 +1,35 @@
+"""Hardware substrate: node models and platform assembly."""
+
+from repro.hardware.catalog import (
+    PLATFORM_DEFAULT_PROCESSORS,
+    PLATFORM_NAMES,
+    build_platform,
+)
+from repro.hardware.node import Node, NodeSpec, Work
+from repro.hardware.platform import Platform
+from repro.hardware.specs import (
+    ALPHA,
+    NODE_SPECS,
+    REFERENCE_SPEC,
+    RS6000_370,
+    SPARC_ELC,
+    SPARC_IPX,
+    node_spec,
+)
+
+__all__ = [
+    "ALPHA",
+    "NODE_SPECS",
+    "Node",
+    "NodeSpec",
+    "PLATFORM_DEFAULT_PROCESSORS",
+    "PLATFORM_NAMES",
+    "Platform",
+    "REFERENCE_SPEC",
+    "RS6000_370",
+    "SPARC_ELC",
+    "SPARC_IPX",
+    "Work",
+    "build_platform",
+    "node_spec",
+]

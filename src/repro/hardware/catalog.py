@@ -1,0 +1,110 @@
+"""Catalog of the paper's experiment platforms.
+
+Each entry builds a fresh :class:`~repro.hardware.platform.Platform`
+(its own environment, nodes, network, seeded streams), matching the
+configurations in Section 3.1 of the paper:
+
+============== ===================== ======================== ========
+Catalog name   Hosts                 Network                  Max P
+============== ===================== ======================== ========
+sun-ethernet   SPARCstation ELC      10 Mb/s shared Ethernet  8
+sun-atm-lan    SPARCstation IPX      ATM LAN (FORE, TAXI 140) 8
+sun-atm-wan    SPARCstation IPX      NYNET ATM WAN (OC-3)     4
+alpha-fddi     DEC Alpha (150 MHz)   dedicated switched FDDI  8
+sp1-switch     RS/6000-370           Allnode crossbar         16
+sp1-ethernet   RS/6000-370           dedicated Ethernet       16
+============== ===================== ======================== ========
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import Node, NodeSpec
+from repro.hardware.platform import Platform
+from repro.hardware.specs import ALPHA, RS6000_370, SPARC_ELC, SPARC_IPX
+from repro.net import AllnodeSwitch, AtmLan, AtmWan, Ethernet, FddiRing
+from repro.sim import Environment, NullTracer, RandomStreams, Tracer
+
+__all__ = ["PLATFORM_NAMES", "PLATFORM_DEFAULT_PROCESSORS", "build_platform"]
+
+
+class _PlatformRecipe(object):
+    """Recipe: node spec + network factory + default/max size."""
+
+    def __init__(
+        self,
+        spec: NodeSpec,
+        network_factory: Callable[..., object],
+        default_processors: int,
+        max_processors: int,
+    ) -> None:
+        self.spec = spec
+        self.network_factory = network_factory
+        self.default_processors = default_processors
+        self.max_processors = max_processors
+
+
+_RECIPES: Dict[str, _PlatformRecipe] = {
+    "sun-ethernet": _PlatformRecipe(SPARC_ELC, Ethernet, 8, 8),
+    "sun-atm-lan": _PlatformRecipe(SPARC_IPX, AtmLan, 4, 8),
+    "sun-atm-wan": _PlatformRecipe(SPARC_IPX, AtmWan, 4, 4),
+    "alpha-fddi": _PlatformRecipe(ALPHA, FddiRing, 8, 8),
+    "sp1-switch": _PlatformRecipe(RS6000_370, AllnodeSwitch, 8, 16),
+    "sp1-ethernet": _PlatformRecipe(RS6000_370, Ethernet, 8, 16),
+}
+
+#: Valid names for :func:`build_platform`.
+PLATFORM_NAMES = tuple(sorted(_RECIPES))
+
+#: Default processor count per platform (the paper's typical setup).
+PLATFORM_DEFAULT_PROCESSORS = {
+    name: recipe.default_processors for name, recipe in _RECIPES.items()
+}
+
+
+def build_platform(
+    name: str,
+    processors: Optional[int] = None,
+    seed: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> Platform:
+    """Build a fresh platform by catalog name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`PLATFORM_NAMES`.
+    processors:
+        Number of hosts (defaults to the paper's configuration size).
+    seed:
+        Root seed for the platform's random streams.
+    tracer:
+        Optional tracer shared by network and tools.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names or out-of-range processor counts.
+    """
+    try:
+        recipe = _RECIPES[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown platform %r; available: %s" % (name, ", ".join(PLATFORM_NAMES))
+        )
+    if processors is None:
+        processors = recipe.default_processors
+    if not 1 <= processors <= recipe.max_processors:
+        raise ConfigurationError(
+            "platform %s supports 1..%d processors, got %d"
+            % (name, recipe.max_processors, processors)
+        )
+
+    env = Environment()
+    tracer = tracer if tracer is not None else NullTracer()
+    rng = RandomStreams(seed)
+    network = recipe.network_factory(env, processors, tracer)
+    nodes = [Node(env, node_id, recipe.spec) for node_id in range(processors)]
+    return Platform(name, env, nodes, network, rng=rng, tracer=tracer)

@@ -1,0 +1,96 @@
+"""A platform: a set of nodes joined by one network.
+
+The platform owns the simulation environment, the tracer and the seeded
+random streams, so an experiment is fully described by (platform name,
+processor count, seed) — rerunning with the same triple reproduces the
+same simulated timings bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import Node, NodeSpec
+from repro.net.base import Network
+from repro.sim import Environment, RandomStreams, Tracer, NullTracer
+
+__all__ = ["Platform"]
+
+
+class Platform(object):
+    """Nodes plus a network inside one simulation environment.
+
+    Parameters
+    ----------
+    name:
+        Catalog name (e.g. ``"sun-ethernet"``).
+    env:
+        The simulation environment shared by all components.
+    nodes:
+        The live node instances, ids 0..n-1.
+    network:
+        The medium connecting them (its ``node_count`` must match).
+    rng:
+        Named deterministic random streams for any stochastic element.
+    tracer:
+        Structured tracer (disabled by default).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        env: Environment,
+        nodes: List[Node],
+        network: Network,
+        rng: Optional[RandomStreams] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("platform %r has no nodes" % name)
+        if network.node_count != len(nodes):
+            raise ConfigurationError(
+                "platform %r: network has %d ports but %d nodes"
+                % (name, network.node_count, len(nodes))
+            )
+        for index, node in enumerate(nodes):
+            if node.node_id != index:
+                raise ConfigurationError(
+                    "platform %r: node at position %d has id %d" % (name, index, node.node_id)
+                )
+        self.name = name
+        self.env = env
+        self.nodes = list(nodes)
+        self.network = network
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+    def __repr__(self) -> str:
+        return "<Platform %s: %d x %s over %s>" % (
+            self.name,
+            self.node_count,
+            self.nodes[0].spec.name,
+            self.network.kind,
+        )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def node_spec(self) -> NodeSpec:
+        """Spec of node 0 (platforms in the paper are homogeneous)."""
+        return self.nodes[0].spec
+
+    def node(self, node_id: int) -> Node:
+        """The node with the given id."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigurationError(
+                "node id %d out of range for %d-node platform %s"
+                % (node_id, len(self.nodes), self.name)
+            )
+        return self.nodes[node_id]
+
+    def describe(self) -> str:
+        """One-line human description, e.g. for report headers."""
+        return "%d x %s over %s" % (self.node_count, self.node_spec.name, self.network.kind)

@@ -1,0 +1,66 @@
+"""Catalog of the machine types used in the paper's experiments.
+
+Throughput figures are sustained application-level estimates for the
+1995 machines, chosen so that the *ratios* between machines match the
+application-level results in the paper (Figures 5-8): the DEC Alpha
+cluster is the fastest, the IBM SP-1 RS/6000-370 nodes sit in between
+("the execution times are significantly higher on IBM-SP1 compared to
+the ALPHA cluster"), and the SPARCstation ELC/IPX workstations are the
+slowest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.node import NodeSpec
+
+__all__ = [
+    "SPARC_ELC",
+    "SPARC_IPX",
+    "ALPHA",
+    "RS6000_370",
+    "NODE_SPECS",
+    "REFERENCE_SPEC",
+    "node_spec",
+]
+
+#: SUN SPARCstation ELC, 33 MHz — the SUN/Ethernet hosts.
+SPARC_ELC = NodeSpec("SPARCstation ELC", clock_mhz=33.0, mips=21.0, mflops=2.5, mem_mbps=25.0)
+
+#: SUN SPARCstation IPX, 40 MHz — the SUN/ATM hosts and the Table 3
+#: calibration reference.
+SPARC_IPX = NodeSpec("SPARCstation IPX", clock_mhz=40.0, mips=28.5, mflops=3.5, mem_mbps=30.0)
+
+#: DEC Alpha AXP workstation, 150 MHz — the ALPHA/FDDI cluster.
+ALPHA = NodeSpec("DEC Alpha 3000", clock_mhz=150.0, mips=135.0, mflops=30.0, mem_mbps=100.0)
+
+#: IBM RS/6000-370 SP-1 node, 62.5 MHz.
+RS6000_370 = NodeSpec("IBM RS/6000-370", clock_mhz=62.5, mips=60.0, mflops=20.0, mem_mbps=60.0)
+
+#: All software-overhead calibration constants are measured on this
+#: machine (the paper's Table 3 hosts are SPARCstation IPXs).
+REFERENCE_SPEC = SPARC_IPX
+
+NODE_SPECS: Dict[str, NodeSpec] = {
+    "sparc-elc": SPARC_ELC,
+    "sparc-ipx": SPARC_IPX,
+    "alpha": ALPHA,
+    "rs6000-370": RS6000_370,
+}
+
+
+def node_spec(name: str) -> NodeSpec:
+    """Look up a node spec by catalog key.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid keys, if ``name`` is unknown.
+    """
+    try:
+        return NODE_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown node spec %r; available: %s" % (name, ", ".join(sorted(NODE_SPECS)))
+        )

@@ -1,0 +1,33 @@
+"""Network substrate: 1995-era media models.
+
+Concrete media:
+
+* :class:`Ethernet` — 10 Mb/s shared half-duplex segment,
+* :class:`FddiRing` — 100 Mb/s token ring,
+* :class:`AtmLan` — 140 Mb/s TAXI links through a FORE switch,
+* :class:`AtmWan` — NYNET OC-3 access, WAN propagation,
+* :class:`AllnodeSwitch` — the IBM SP-1 crossbar.
+
+Plus :class:`TcpTransport`, a windowed acknowledged transport layered
+over any medium.
+"""
+
+from repro.net.atm import AtmLan, AtmWan, cells_for
+from repro.net.base import FrameFormat, Network, NetworkStats
+from repro.net.crossbar import AllnodeSwitch
+from repro.net.ethernet import Ethernet
+from repro.net.fddi import FddiRing
+from repro.net.transport import TcpTransport
+
+__all__ = [
+    "AllnodeSwitch",
+    "AtmLan",
+    "AtmWan",
+    "Ethernet",
+    "FddiRing",
+    "FrameFormat",
+    "Network",
+    "NetworkStats",
+    "TcpTransport",
+    "cells_for",
+]

@@ -1,0 +1,94 @@
+"""10 Mb/s shared Ethernet (the paper's SUN/Ethernet and SP-1 LAN).
+
+The defining property of 1995 Ethernet for these benchmarks is the
+*shared half-duplex medium*: one frame on the wire at a time, campus
+wide.  We model the segment as an exclusive resource acquired per
+frame (FIFO acquisition approximates CSMA/CD under the moderate loads
+of the paper's 2-8 host experiments; an optional seeded jitter models
+backoff noise).  Framing covers Ethernet + IP + TCP/UDP headers,
+preamble and inter-frame gap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.base import FrameFormat, Network
+from repro.sim import Environment, Resource, Tracer
+
+__all__ = ["Ethernet"]
+
+#: MTU payload once IP (20 B) and TCP (20 B) headers are inside the
+#: 1500-byte Ethernet payload.
+_TCP_MSS = 1460
+
+#: Per-frame wire overhead: 18 B Ethernet header/FCS + 8 B preamble +
+#: 12 B inter-frame gap equivalent + 40 B IP/TCP headers.
+_FRAME_OVERHEAD = 78
+
+#: Minimum wire size of an Ethernet frame (64 B + preamble + gap).
+_MIN_WIRE = 84
+
+
+class Ethernet(Network):
+    """A single shared 10 Mb/s Ethernet segment."""
+
+    kind = "ethernet"
+    full_duplex = False
+
+    #: Host driver/protocol-stack costs at the reference SPARC IPX.
+    host_fixed_seconds = 0.35e-3
+    host_per_byte_seconds = 0.08e-6
+
+    def __init__(
+        self,
+        env: Environment,
+        node_count: int,
+        tracer: Optional[Tracer] = None,
+        rate_bps: float = 10e6,
+        propagation_seconds: float = 15e-6,
+        backoff_rng: Optional[random.Random] = None,
+        max_backoff_seconds: float = 60e-6,
+    ) -> None:
+        super(Ethernet, self).__init__(env, node_count, tracer)
+        self.rate_bps = float(rate_bps)
+        self.propagation_seconds = float(propagation_seconds)
+        self.frame_format = FrameFormat(_TCP_MSS, _FRAME_OVERHEAD, _MIN_WIRE)
+        self._medium = Resource(env, capacity=1)
+        self._backoff_rng = backoff_rng
+        self._max_backoff = float(max_backoff_seconds)
+
+    @property
+    def medium_queue_length(self) -> int:
+        """Hosts currently waiting for the segment (for tests/metrics)."""
+        return self._medium.queue_length
+
+    def contention(self, node: int) -> int:
+        """Everyone shares the one segment: queue length is global."""
+        return self._medium.queue_length
+
+    def frame_seconds(self, payload: int) -> float:
+        """Wire time of a single frame carrying ``payload`` bytes."""
+        return self.frame_format.wire_bytes(payload) * 8.0 / self.rate_bps
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Send ``nbytes`` from ``src`` to ``dst`` frame by frame."""
+        self.validate_endpoints(src, dst)
+        start = self.env.now
+        wire_total = 0
+        busy_total = 0.0
+        for payload in self.frame_format.frame_payloads(nbytes):
+            with self._medium.request() as claim:
+                yield claim
+                if self._backoff_rng is not None and self._medium.queue_length > 0:
+                    # Someone else is already waiting: collisions would
+                    # have occurred; add a seeded backoff penalty.
+                    yield self.env.timeout(self._backoff_rng.uniform(0.0, self._max_backoff))
+                frame_time = self.frame_seconds(payload)
+                yield self.env.timeout(frame_time)
+            wire_total += self.frame_format.wire_bytes(payload)
+            busy_total += frame_time
+        yield self.env.timeout(self.propagation_seconds)
+        self._record(src, dst, nbytes, wire_total, busy_total)
+        return self.env.now - start

@@ -1,0 +1,74 @@
+"""A windowed, acknowledged transport over a raw medium.
+
+p4 and PVM ride on the 1995 BSD TCP/UDP stacks, whose small default
+socket buffers (4-8 KB on SunOS) stall bulk transfers at window
+boundaries while the sender waits for acknowledgements.  This model
+captures exactly that: a message is sent window by window, and between
+windows the sender waits for an ack frame to come back over the same
+medium (which, on half-duplex Ethernet, also occupies the wire).
+
+Stop-and-wait protocols (Express's internal exchange protocol) are the
+degenerate case of a window equal to the fragment size, but Express
+also adds handshake turnaround; that lives in the tool layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.base import Network
+
+__all__ = ["TcpTransport"]
+
+#: Wire size of a bare ack segment (TCP/IP headers only).
+_ACK_BYTES = 40
+
+
+class TcpTransport(object):
+    """Windowed transfer with per-window acknowledgement stalls.
+
+    Parameters
+    ----------
+    network:
+        The underlying medium.
+    window_bytes:
+        Bytes the sender may have in flight before stalling for an ack.
+    ack_turnaround_seconds:
+        Receiver-side delay before the ack is emitted (protocol
+        processing + delayed-ack timer contribution).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        window_bytes: int = 8192,
+        ack_turnaround_seconds: float = 0.4e-3,
+    ) -> None:
+        if window_bytes <= 0:
+            raise ValueError("window_bytes must be positive")
+        self.network = network
+        self.window_bytes = int(window_bytes)
+        self.ack_turnaround_seconds = float(ack_turnaround_seconds)
+
+    def __repr__(self) -> str:
+        return "<TcpTransport window=%dB over %s>" % (self.window_bytes, self.network.kind)
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Deliver ``nbytes`` from ``src`` to ``dst`` (generator).
+
+        Completes when the last data byte arrives at ``dst`` — the
+        final window needs no ack before the receiver sees the data.
+        """
+        if nbytes <= 0:
+            yield from self.network.transfer(src, dst, 0)
+            return self.network.env.now
+        remaining = int(nbytes)
+        while remaining > 0:
+            window = min(remaining, self.window_bytes)
+            yield from self.network.transfer(src, dst, window)
+            remaining -= window
+            if remaining > 0:
+                # Stall: the ack crosses back over the medium.
+                yield self.network.env.timeout(self.ack_turnaround_seconds)
+                yield from self.network.transfer(dst, src, _ACK_BYTES)
+        return self.network.env.now

@@ -1,0 +1,111 @@
+"""Simulation processes.
+
+A process wraps a Python generator.  Each value the generator yields
+must be an :class:`~repro.sim.events.Event`; the process suspends until
+that event fires and is resumed with the event's value (or with its
+exception raised at the ``yield`` statement, for failed events).
+
+A :class:`Process` is itself an event: it fires when the generator
+returns, with the generator's return value, so processes can wait on
+each other (``yield other_process``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Initialize, Interruption, PENDING
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """An event-yielding generator driven by the environment."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:  # noqa: F821
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError("process requires a generator, got %r" % (generator,))
+        super(Process, self).__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = getattr(generator, "__name__", str(generator))
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return "<Process(%s) at 0x%x>" % (self.name, id(self))
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.sim.events.Interrupt` into the process."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_proc = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: mark the failure as handled and
+                    # re-raise it inside the generator so user code can
+                    # catch it.
+                    event.defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as stop:
+                # Generator finished: the process event succeeds.
+                if not self.triggered:
+                    self._ok = True
+                    self._value = getattr(stop, "value", None)
+                    env.schedule(self)
+                break
+            except BaseException as exc:
+                # Generator died: the process event fails.
+                if not self.triggered:
+                    self._ok = False
+                    self._value = exc
+                    env.schedule(self)
+                    break
+                raise
+
+            if next_event is None or not isinstance(next_event, Event):
+                error = RuntimeError(
+                    "process %r yielded a non-event: %r" % (self.name, next_event)
+                )
+                try:
+                    self._generator.throw(RuntimeError, error)
+                except StopIteration:
+                    pass
+                except RuntimeError:
+                    pass
+                if not self.triggered:
+                    self._ok = False
+                    self._value = error
+                    self._defused = False
+                    env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Event is pending or triggered-but-unprocessed: wait.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: feed its outcome straight back in.
+            event = next_event
+
+        env._active_proc = None

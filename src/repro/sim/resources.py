@@ -1,0 +1,232 @@
+"""Shared resources for simulation processes.
+
+Three primitives cover everything the substrates need:
+
+* :class:`Resource` — a counted semaphore with a FIFO wait queue; models
+  exclusive media (an Ethernet segment, a token) or multi-unit capacity
+  (switch ports).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``;
+  models mailboxes and daemon input queues.
+* :class:`FilterStore` — a store whose ``get`` can wait for an item
+  matching a predicate; models tag/source-selective message receipt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.sim.events import Event
+
+__all__ = ["Request", "Release", "Resource", "StorePut", "StoreGet", "Store", "FilterStore"]
+
+
+class Request(Event):
+    """A pending (or granted) claim on a :class:`Resource`.
+
+    Usable as a context manager so the resource is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super(Request, self).__init__(resource._env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if not self.triggered:
+            self.resource._waiters.remove(self)
+
+
+class Release(Event):
+    """Event that fires immediately once a claim has been returned."""
+
+    __slots__ = ()
+
+
+class Resource(object):
+    """A counted, FIFO-fair resource.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of simultaneous claims allowed (default 1).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:  # noqa: F821
+        if capacity <= 0:
+            raise ValueError("capacity must be positive, got %r" % (capacity,))
+        self._env = env
+        self._capacity = int(capacity)
+        self._users: List[Request] = []
+        self._waiters: Deque[Request] = deque()
+
+    def __repr__(self) -> str:
+        return "<Resource capacity=%d users=%d queued=%d>" % (
+            self._capacity,
+            len(self._users),
+            len(self._waiters),
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of claims currently granted."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a free slot."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Return a previously granted claim.
+
+        Releasing an ungranted (queued) request cancels it instead.
+        """
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            request.cancel()
+        release = Release(self._env)
+        release.succeed()
+        return release
+
+    def _do_request(self, request: Request) -> None:
+        if len(self._users) < self._capacity:
+            self._users.append(request)
+            request.succeed()
+        else:
+            self._waiters.append(request)
+
+    def _grant_next(self) -> None:
+        while self._waiters and len(self._users) < self._capacity:
+            request = self._waiters.popleft()
+            self._users.append(request)
+            request.succeed()
+
+
+class StorePut(Event):
+    """Completed immediately: stores here are unbounded."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super(StorePut, self).__init__(store._env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    """Fires with the next item (optionally the next matching item)."""
+
+    __slots__ = ("store", "filter")
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super(StoreGet, self).__init__(store._env)
+        self.store = store
+        self.filter = filter
+        store._do_get(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-satisfied get from the wait queue."""
+        if not self.triggered:
+            try:
+                self.store._getters.remove(self)
+            except ValueError:
+                pass
+
+
+class Store(object):
+    """Unbounded FIFO item store with blocking ``get``."""
+
+    def __init__(self, env: "Environment") -> None:  # noqa: F821
+        self._env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __repr__(self) -> str:
+        return "<%s items=%d getters=%d>" % (
+            type(self).__name__,
+            len(self._items),
+            len(self._getters),
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item``; never blocks."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Take the oldest item; the event fires when one is available."""
+        return StoreGet(self)
+
+    def _do_put(self, event: StorePut) -> None:
+        self._items.append(event.item)
+        event.succeed()
+        self._dispatch()
+
+    def _do_get(self, event: StoreGet) -> None:
+        self._getters.append(event)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            getter.succeed(self._items.popleft())
+
+
+class FilterStore(Store):
+    """Store whose ``get`` may wait for an item matching a predicate."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Take the oldest item for which ``filter(item)`` is true."""
+        return StoreGet(self, filter)
+
+    def _dispatch(self) -> None:
+        # Repeatedly try to satisfy any waiting getter; stop when a full
+        # pass makes no progress.
+        progressed = True
+        while progressed:
+            progressed = False
+            for getter in list(self._getters):
+                match_index = None
+                for index, item in enumerate(self._items):
+                    if getter.filter is None or getter.filter(item):
+                        match_index = index
+                        break
+                if match_index is not None:
+                    self._getters.remove(getter)
+                    item = self._items[match_index]
+                    del self._items[match_index]
+                    getter.succeed(item)
+                    progressed = True

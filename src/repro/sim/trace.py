@@ -1,0 +1,75 @@
+"""Lightweight structured tracing for simulation runs.
+
+Substrates call :meth:`Tracer.record` with a kind string and arbitrary
+fields; tests and benches inspect the recorded stream.  Tracing is off
+by default (a disabled tracer records nothing) so the hot path stays a
+single attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+class TraceRecord(object):
+    """A single trace entry: time, kind, and free-form fields."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: Dict[str, Any]) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join("%s=%r" % item for item in sorted(self.fields.items()))
+        return "TraceRecord(t=%.6f, %s, %s)" % (self.time, self.kind, inner)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer(object):
+    """Collects :class:`TraceRecord` entries for a simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append an entry (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, fields))
+
+    def clear(self) -> None:
+        self._records = []
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records with the given kind, in time order."""
+        return [record for record in self._records if record.kind == kind]
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        """All records satisfying ``predicate``, in time order."""
+        return [record for record in self._records if predicate(record)]
+
+    def total(self, kind: str, field: str) -> float:
+        """Sum of ``field`` over all records of ``kind``."""
+        return float(sum(record[field] for record in self.of_kind(kind)))
+
+
+class NullTracer(Tracer):
+    """A tracer that never records; used as the default."""
+
+    def __init__(self) -> None:
+        super(NullTracer, self).__init__(enabled=False)
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        return None

@@ -1,0 +1,51 @@
+"""Message-passing tool runtime models (Express, p4, PVM, +MPI).
+
+Each runtime implements the same :class:`Communicator` API over a
+platform, with the tool's documented transport structure and a
+calibrated cost profile.  See DESIGN.md section 2 for the structural
+differences and ``repro.tools.profiles`` for the constants.
+"""
+
+from repro.tools import collectives  # noqa: F401  (re-exported module)
+from repro.tools.base import Communicator, ToolRuntime
+from repro.tools.express import ExpressTool
+from repro.tools.messages import Message, sizeof
+from repro.tools.mpi import MpiTool
+from repro.tools.p4 import P4Tool
+from repro.tools.profiles import (
+    EXPRESS_PROFILE,
+    MPI_PROFILE,
+    P4_PROFILE,
+    PVM_PROFILE,
+    ToolProfile,
+)
+from repro.tools.pvm import PvmTool
+from repro.tools.registry import (
+    PAPER_TOOL_NAMES,
+    PRIMITIVE_NAMES,
+    TOOL_CLASSES,
+    TOOL_NAMES,
+    create_tool,
+)
+
+__all__ = [
+    "Communicator",
+    "EXPRESS_PROFILE",
+    "ExpressTool",
+    "MPI_PROFILE",
+    "Message",
+    "MpiTool",
+    "P4Tool",
+    "P4_PROFILE",
+    "PAPER_TOOL_NAMES",
+    "PRIMITIVE_NAMES",
+    "PVM_PROFILE",
+    "PvmTool",
+    "TOOL_CLASSES",
+    "TOOL_NAMES",
+    "ToolProfile",
+    "ToolRuntime",
+    "collectives",
+    "create_tool",
+    "sizeof",
+]

@@ -1,0 +1,41 @@
+"""An MPI-like runtime model (extension, not in the paper's data).
+
+The paper closes by pointing at emerging standard systems; MPI
+(MPICH's 1994/95 ch_p4 device literally ran *on* p4) is the obvious
+fourth tool to push through the same methodology.  We model it as a
+direct-TCP tool like p4 with slightly higher fixed costs for its
+richer semantics (communicators, datatypes, tag matching), and tree
+collectives.  The extension benchmarks evaluate it with the identical
+three-level methodology to show the framework is tool-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.platform import Platform
+from repro.net.transport import TcpTransport
+from repro.tools.base import ToolRuntime
+from repro.tools.messages import Message
+from repro.tools.profiles import MPI_PROFILE, ToolProfile
+
+__all__ = ["MpiTool"]
+
+
+class MpiTool(ToolRuntime):
+    """MPI (MPICH-style) over direct, windowed TCP connections."""
+
+    default_profile = MPI_PROFILE
+
+    def __init__(self, platform: Platform, profile: Optional[ToolProfile] = None) -> None:
+        super(MpiTool, self).__init__(platform, profile)
+        self.transport = TcpTransport(
+            platform.network,
+            window_bytes=self.profile.tcp_window_bytes,
+            ack_turnaround_seconds=self.profile.ack_turnaround,
+        )
+
+    def send_path(self, msg: Message):
+        """Push the message through the TCP connection (blocking)."""
+        yield from self.transport.transfer(msg.src, msg.dst, msg.nbytes)
+        self.deliver(msg)

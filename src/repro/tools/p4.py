@@ -1,0 +1,45 @@
+"""The p4 runtime model (Argonne National Laboratory).
+
+p4 processes hold direct TCP connections to each other; a send packs
+the user buffer (cheaply — no encoding), pushes it through the kernel
+TCP path, and the message appears at the peer with no intermediary.
+This thin path is why the paper finds p4 fastest in every primitive
+class: "the efficient implementation of p4 communication primitives
+... add very small amount of overhead to the underlying transport
+layer" (Section 3.2.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.platform import Platform
+from repro.net.transport import TcpTransport
+from repro.tools.base import ToolRuntime
+from repro.tools.messages import Message
+from repro.tools.profiles import P4_PROFILE, ToolProfile
+
+__all__ = ["P4Tool"]
+
+
+class P4Tool(ToolRuntime):
+    """p4 over direct, windowed TCP connections."""
+
+    default_profile = P4_PROFILE
+
+    def __init__(self, platform: Platform, profile: Optional[ToolProfile] = None) -> None:
+        super(P4Tool, self).__init__(platform, profile)
+        self.transport = TcpTransport(
+            platform.network,
+            window_bytes=self.profile.tcp_window_bytes,
+            ack_turnaround_seconds=self.profile.ack_turnaround,
+        )
+
+    def send_path(self, msg: Message):
+        """Push the packed message through the TCP connection.
+
+        ``p4_send`` of a large message blocks while the socket drains,
+        so the sender regains control only at delivery.
+        """
+        yield from self.transport.transfer(msg.src, msg.dst, msg.nbytes)
+        self.deliver(msg)

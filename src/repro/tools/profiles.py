@@ -1,0 +1,207 @@
+"""Cost profiles for the three message-passing tool runtimes.
+
+A profile is the *single calibration surface* of the reproduction:
+every structural difference the paper attributes to a tool lives here
+as an explicit constant.  All times are seconds **on the reference
+machine** (SPARCstation IPX — the hosts behind the paper's Table 3);
+the runtime scales them to the actual node's speed.
+
+Structural summary (see DESIGN.md section 2):
+
+* **p4** — processes hold direct TCP connections; minimal per-message
+  and per-byte software cost; windowed kernel transport; binomial-tree
+  broadcast and reduction (``p4_global_op``).
+* **PVM** (3.x default route) — messages pass through the per-host
+  ``pvmd`` daemons (extra IPC hop and store-and-forward copy each
+  side), payloads are XDR-encoded, daemon-to-daemon UDP fragments use
+  a stop-and-wait acknowledgement, ``pvm_mcast`` pushes the message
+  sequentially through the sender's daemon, and *no global reduction
+  exists at all* (Table 1: "Not Available").
+* **Express** — a handshaked fragment protocol (small internal packets
+  acknowledged stop-and-wait) plus extra buffer copies; broadcast is a
+  sequential loop of the same protocol.  The handshake stalls are dead
+  time on an idle wire — hence the worst Table 3 columns — but hide
+  under contention, which is why Express overtakes PVM on the ring
+  benchmark (Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ToolProfile", "P4_PROFILE", "PVM_PROFILE", "EXPRESS_PROFILE", "MPI_PROFILE"]
+
+_TRANSPORTS = ("tcp", "daemon", "stop-and-wait")
+_BCAST_ALGORITHMS = ("binomial", "sequential", "daemon-sequential")
+_REDUCE_ALGORITHMS = ("binomial", "linear", None)
+
+
+class ToolProfile(object):
+    """Calibration constants and structural switches for one tool."""
+
+    def __init__(
+        self,
+        name: str,
+        display_name: str,
+        transport: str,
+        send_fixed: float,
+        recv_fixed: float,
+        pack_per_byte: float,
+        unpack_per_byte: float,
+        broadcast_algorithm: str,
+        reduce_algorithm: str = None,
+        tcp_window_bytes: int = 8192,
+        ack_turnaround: float = 0.4e-3,
+        fragment_bytes: int = 1024,
+        handshake_seconds: float = 0.0,
+        daemon_ipc_fixed: float = 0.0,
+        daemon_ipc_per_byte: float = 0.0,
+        daemon_copy_per_byte: float = 0.0,
+        daemon_fragment_bytes: int = 4096,
+        daemon_ack_stall: float = 0.0,
+        daemon_retransmit_stall: float = 0.0,
+        daemon_congestion_threshold: int = 2,
+    ) -> None:
+        if transport not in _TRANSPORTS:
+            raise ConfigurationError("unknown transport %r" % (transport,))
+        if broadcast_algorithm not in _BCAST_ALGORITHMS:
+            raise ConfigurationError("unknown broadcast algorithm %r" % (broadcast_algorithm,))
+        if reduce_algorithm not in _REDUCE_ALGORITHMS:
+            raise ConfigurationError("unknown reduce algorithm %r" % (reduce_algorithm,))
+        if min(send_fixed, recv_fixed, pack_per_byte, unpack_per_byte) < 0:
+            raise ConfigurationError("profile costs must be non-negative")
+        if tcp_window_bytes <= 0 or fragment_bytes <= 0 or daemon_fragment_bytes <= 0:
+            raise ConfigurationError("window and fragment sizes must be positive")
+
+        self.name = name
+        self.display_name = display_name
+        self.transport = transport
+        self.send_fixed = send_fixed
+        self.recv_fixed = recv_fixed
+        self.pack_per_byte = pack_per_byte
+        self.unpack_per_byte = unpack_per_byte
+        self.broadcast_algorithm = broadcast_algorithm
+        self.reduce_algorithm = reduce_algorithm
+        self.tcp_window_bytes = tcp_window_bytes
+        self.ack_turnaround = ack_turnaround
+        self.fragment_bytes = fragment_bytes
+        self.handshake_seconds = handshake_seconds
+        self.daemon_ipc_fixed = daemon_ipc_fixed
+        self.daemon_ipc_per_byte = daemon_ipc_per_byte
+        self.daemon_copy_per_byte = daemon_copy_per_byte
+        self.daemon_fragment_bytes = daemon_fragment_bytes
+        self.daemon_ack_stall = daemon_ack_stall
+        self.daemon_retransmit_stall = daemon_retransmit_stall
+        self.daemon_congestion_threshold = daemon_congestion_threshold
+
+    def __repr__(self) -> str:
+        return "<ToolProfile %s (%s)>" % (self.name, self.transport)
+
+    @property
+    def supports_reduce(self) -> bool:
+        """Whether the tool provides any global reduction primitive."""
+        return self.reduce_algorithm is not None
+
+    def replace(self, **overrides) -> "ToolProfile":
+        """A copy of this profile with some constants overridden.
+
+        This is the hook the ablation benchmarks use (e.g. PVM with
+        direct routing, Express with a larger fragment).
+        """
+        fields = dict(
+            name=self.name,
+            display_name=self.display_name,
+            transport=self.transport,
+            send_fixed=self.send_fixed,
+            recv_fixed=self.recv_fixed,
+            pack_per_byte=self.pack_per_byte,
+            unpack_per_byte=self.unpack_per_byte,
+            broadcast_algorithm=self.broadcast_algorithm,
+            reduce_algorithm=self.reduce_algorithm,
+            tcp_window_bytes=self.tcp_window_bytes,
+            ack_turnaround=self.ack_turnaround,
+            fragment_bytes=self.fragment_bytes,
+            handshake_seconds=self.handshake_seconds,
+            daemon_ipc_fixed=self.daemon_ipc_fixed,
+            daemon_ipc_per_byte=self.daemon_ipc_per_byte,
+            daemon_copy_per_byte=self.daemon_copy_per_byte,
+            daemon_fragment_bytes=self.daemon_fragment_bytes,
+            daemon_ack_stall=self.daemon_ack_stall,
+            daemon_retransmit_stall=self.daemon_retransmit_stall,
+            daemon_congestion_threshold=self.daemon_congestion_threshold,
+        )
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise ConfigurationError("unknown profile fields: %s" % ", ".join(sorted(unknown)))
+        fields.update(overrides)
+        return ToolProfile(**fields)
+
+
+#: p4 (Argonne National Laboratory) — direct TCP, lean primitives.
+P4_PROFILE = ToolProfile(
+    name="p4",
+    display_name="p4 (Argonne)",
+    transport="tcp",
+    send_fixed=0.20e-3,
+    recv_fixed=0.15e-3,
+    pack_per_byte=0.055e-6,
+    unpack_per_byte=0.055e-6,
+    broadcast_algorithm="binomial",
+    reduce_algorithm="binomial",
+    tcp_window_bytes=8192,
+    ack_turnaround=0.35e-3,
+)
+
+#: PVM 3.x (Oak Ridge) — daemon default route, XDR encoding, no reduce.
+PVM_PROFILE = ToolProfile(
+    name="pvm",
+    display_name="PVM (Oak Ridge)",
+    transport="daemon",
+    send_fixed=0.30e-3,
+    recv_fixed=0.25e-3,
+    pack_per_byte=0.060e-6,   # XDR encode
+    unpack_per_byte=0.060e-6,  # XDR decode
+    broadcast_algorithm="daemon-sequential",
+    reduce_algorithm=None,
+    daemon_ipc_fixed=1.15e-3,
+    daemon_ipc_per_byte=0.030e-6,
+    daemon_copy_per_byte=0.040e-6,
+    daemon_fragment_bytes=4096,
+    daemon_ack_stall=1.2e-3,
+    # pvmd-to-pvmd traffic is UDP: under multi-sender congestion a
+    # fragment is lost and sits out pvmd's coarse retransmit timer.
+    daemon_retransmit_stall=5.0e-3,
+    daemon_congestion_threshold=2,
+)
+
+#: Express (ParaSoft) — handshaked fragments, extra copies.
+EXPRESS_PROFILE = ToolProfile(
+    name="express",
+    display_name="Express (ParaSoft)",
+    transport="stop-and-wait",
+    send_fixed=0.35e-3,
+    recv_fixed=0.35e-3,
+    pack_per_byte=0.16e-6,   # extra internal buffer copy
+    unpack_per_byte=0.16e-6,
+    broadcast_algorithm="sequential",
+    reduce_algorithm="linear",
+    fragment_bytes=1024,
+    handshake_seconds=0.70e-3,
+)
+
+#: An MPI-like fourth tool: the paper's "future systems" direction.
+#: Structurally p4-like transport with tree collectives and slightly
+#: higher fixed costs (richer semantics: communicators, datatypes).
+MPI_PROFILE = ToolProfile(
+    name="mpi",
+    display_name="MPI (MPICH-style)",
+    transport="tcp",
+    send_fixed=0.26e-3,
+    recv_fixed=0.20e-3,
+    pack_per_byte=0.060e-6,
+    unpack_per_byte=0.060e-6,
+    broadcast_algorithm="binomial",
+    reduce_algorithm="binomial",
+    tcp_window_bytes=8192,
+    ack_turnaround=0.35e-3,
+)

@@ -1,0 +1,141 @@
+"""The PVM 3.x runtime model (Oak Ridge National Laboratory).
+
+PVM's *default route* relays every message through the per-host
+``pvmd`` daemons:
+
+1. the sender XDR-encodes into a pack buffer (``pvm_pkint``) and hands
+   it to the local daemon over local IPC — ``pvm_send`` then returns;
+2. the source daemon forwards to the destination daemon in UDP
+   fragments with a stop-and-wait acknowledgement, copying each
+   fragment through its buffers (CPU time on the *host*, which is what
+   makes daemons a contention point when a node sends and receives at
+   once — the ring benchmark's PVM penalty);
+3. the destination daemon hands the message to the receiving process
+   over local IPC.
+
+``pvm_mcast`` packs once and lets the source daemon walk the
+destination list sequentially.  PVM 3.3 (1994/95, as evaluated) has
+**no global reduction**: Table 1 lists global sum as "Not Available",
+which :class:`~repro.tools.base.Communicator` surfaces as
+:class:`~repro.errors.UnsupportedOperationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.tools.base import ToolRuntime
+from repro.tools.messages import Message
+from repro.tools.profiles import PVM_PROFILE
+
+__all__ = ["PvmTool"]
+
+
+class PvmTool(ToolRuntime):
+    """PVM with daemon-routed messages."""
+
+    default_profile = PVM_PROFILE
+
+    def send_path(self, msg: Message):
+        """Hand the message to the local daemon; forwarding is async."""
+        profile = self.profile
+        src_node = self.platform.node(msg.src)
+        ipc_cost = profile.daemon_ipc_fixed + profile.daemon_ipc_per_byte * msg.nbytes
+        yield from self.software(src_node, ipc_cost)
+        # pvm_send has returned; the daemons carry on without the caller.
+        self.env.process(self._daemon_forward(msg))
+
+    def multicast_path(self, msg: Message, dsts: Sequence[int]):
+        """pvm_mcast: one IPC hand-off, then the daemon walks ``dsts``."""
+        profile = self.profile
+        src_node = self.platform.node(msg.src)
+        ipc_cost = profile.daemon_ipc_fixed + profile.daemon_ipc_per_byte * msg.nbytes
+        yield from self.software(src_node, ipc_cost)
+        self.env.process(self._daemon_multicast(msg, list(dsts)))
+
+    def _daemon_forward(self, msg: Message):
+        """Source daemon -> wire -> destination daemon -> process."""
+        yield from self._daemon_hop(msg.src, msg.dst, msg.nbytes)
+        profile = self.profile
+        dst_node = self.platform.node(msg.dst)
+        ipc_cost = profile.daemon_ipc_fixed + profile.daemon_ipc_per_byte * msg.nbytes
+        yield from self.software(dst_node, ipc_cost)
+        self.deliver(msg)
+
+    def _daemon_multicast(self, msg: Message, dsts: Sequence[int]):
+        """The source daemon forwards to each destination in turn."""
+        profile = self.profile
+        for dst in dsts:
+            copy = Message(msg.src, dst, msg.tag, msg.nbytes, msg.payload, sent_at=msg.sent_at)
+            yield from self._daemon_hop(msg.src, dst, msg.nbytes)
+            dst_node = self.platform.node(dst)
+            ipc_cost = profile.daemon_ipc_fixed + profile.daemon_ipc_per_byte * msg.nbytes
+            yield from self.software(dst_node, ipc_cost)
+            self.deliver(copy)
+
+    def _fragments(self, nbytes: int):
+        """Fragment sizes for one daemon hop (always at least one)."""
+        remaining = max(int(nbytes), 0)
+        sizes = []
+        first = True
+        while first or remaining > 0:
+            first = False
+            fragment = min(remaining, self.profile.daemon_fragment_bytes)
+            sizes.append(fragment)
+            remaining -= fragment
+        return sizes
+
+    def _daemon_hop(self, src: int, dst: int, nbytes: int):
+        """One daemon-to-daemon transfer: a three-stage pipeline.
+
+        The source daemon copies fragment k+1 while the wire carries
+        fragment k and the destination daemon drains fragment k-1 —
+        real store-and-forward.  On a slow wire (Ethernet) the copies
+        hide completely; on a fast wire (ATM) the daemon stages emerge
+        as the bottleneck, which is exactly the network-dependent PVM
+        penalty visible in Table 3.
+        """
+        from repro.sim import Store
+
+        profile = self.profile
+        src_node = self.platform.node(src)
+        dst_node = self.platform.node(dst)
+        fragments = self._fragments(nbytes)
+        to_wire = Store(self.env)
+        to_drain = Store(self.env)
+
+        def copy_in_stage():
+            for fragment in fragments:
+                yield from self.software(src_node, profile.daemon_copy_per_byte * fragment)
+                to_wire.put(fragment)
+
+        def wire_stage():
+            for index in range(len(fragments)):
+                fragment = yield to_wire.get()
+                congested = (
+                    profile.daemon_retransmit_stall > 0
+                    and self.network.contention(src) >= profile.daemon_congestion_threshold
+                )
+                yield from self.network.transfer(src, dst, fragment)
+                if congested:
+                    # UDP fragment lost to multi-sender congestion:
+                    # pvmd re-sends it after its retransmit timer.
+                    yield self.env.timeout(profile.daemon_retransmit_stall)
+                    yield from self.network.transfer(src, dst, fragment)
+                if index < len(fragments) - 1:
+                    # Stop-and-wait: the daemon acknowledgement must
+                    # return before the next fragment leaves.
+                    yield self.env.timeout(profile.daemon_ack_stall)
+                to_drain.put(fragment)
+
+        def copy_out_stage():
+            for _ in range(len(fragments)):
+                fragment = yield to_drain.get()
+                yield from self.software(dst_node, profile.daemon_copy_per_byte * fragment)
+
+        stages = [
+            self.env.process(copy_in_stage()),
+            self.env.process(wire_stage()),
+            self.env.process(copy_out_stage()),
+        ]
+        yield self.env.all_of(stages)

@@ -1,0 +1,73 @@
+"""Tool registry and the paper's Table 1 primitive-name map."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.errors import ConfigurationError
+from repro.hardware.platform import Platform
+from repro.tools.base import ToolRuntime
+from repro.tools.express import ExpressTool
+from repro.tools.mpi import MpiTool
+from repro.tools.p4 import P4Tool
+from repro.tools.profiles import ToolProfile
+from repro.tools.pvm import PvmTool
+
+__all__ = ["TOOL_CLASSES", "TOOL_NAMES", "PAPER_TOOL_NAMES", "PRIMITIVE_NAMES", "create_tool"]
+
+TOOL_CLASSES: Dict[str, Type[ToolRuntime]] = {
+    "express": ExpressTool,
+    "p4": P4Tool,
+    "pvm": PvmTool,
+    "mpi": MpiTool,
+}
+
+#: Every tool this package can instantiate.
+TOOL_NAMES = tuple(sorted(TOOL_CLASSES))
+
+#: The three tools the paper evaluates (Table 1 order).
+PAPER_TOOL_NAMES = ("express", "p4", "pvm")
+
+#: Table 1 — the primitive each tool exposes per primitive class.
+#: ``None`` marks "Not Available".
+PRIMITIVE_NAMES = {
+    "send/receive": {
+        "express": ("exsend", "exreceive"),
+        "p4": ("p4_send", "p4_recv"),
+        "pvm": ("pvm_send", "pvm_recv"),
+    },
+    "broadcast/multicast": {
+        "express": ("exbroadcast",),
+        "p4": ("p4_broadcast",),
+        "pvm": ("pvm_mcast",),
+    },
+    "ring": {
+        "express": ("exsend", "exreceive"),
+        "p4": ("p4_send", "p4_recv"),
+        "pvm": ("pvm_send", "pvm_recv"),
+    },
+    "global sum": {
+        "express": ("excombine",),
+        "p4": ("p4_global_op",),
+        "pvm": None,
+    },
+}
+
+
+def create_tool(
+    name: str,
+    platform: Platform,
+    profile: Optional[ToolProfile] = None,
+) -> ToolRuntime:
+    """Instantiate a tool runtime by name on ``platform``.
+
+    ``profile`` overrides the tool's default cost profile (used by the
+    ablation benchmarks).
+    """
+    try:
+        tool_class = TOOL_CLASSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown tool %r; available: %s" % (name, ", ".join(TOOL_NAMES))
+        )
+    return tool_class(platform, profile)

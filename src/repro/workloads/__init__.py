@@ -1,0 +1,24 @@
+"""Reusable synthetic workload generators.
+
+The applications own their workload *semantics* (what a JPEG image or
+a key block means); this package holds the generic generators they
+share, plus sweep helpers for the benchmark harness.
+"""
+
+from repro.workloads.datagen import (
+    integer_keys,
+    complex_field,
+    dense_matrix,
+    message_size_sweep,
+    processor_sweep,
+)
+from repro.workloads.images import gradient_noise_image
+
+__all__ = [
+    "complex_field",
+    "dense_matrix",
+    "gradient_noise_image",
+    "integer_keys",
+    "message_size_sweep",
+    "processor_sweep",
+]

@@ -1,0 +1,62 @@
+"""Numeric dataset generators and sweep helpers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "integer_keys",
+    "complex_field",
+    "dense_matrix",
+    "message_size_sweep",
+    "processor_sweep",
+]
+
+
+def integer_keys(stream: np.random.Generator, count: int) -> np.ndarray:
+    """Uniform random sort keys in [0, 2^31)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return stream.integers(0, 2 ** 31 - 1, size=count, dtype=np.int64)
+
+
+def complex_field(stream: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """A complex128 field of unit-variance Gaussian noise."""
+    real = stream.normal(0.0, 1.0, size=(rows, cols))
+    imag = stream.normal(0.0, 1.0, size=(rows, cols))
+    return (real + 1j * imag).astype(np.complex128)
+
+
+def dense_matrix(stream: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """A dense float64 matrix of unit-variance Gaussian entries."""
+    return stream.normal(0.0, 1.0, size=(rows, cols))
+
+
+def message_size_sweep(max_kb: int = 64, points_per_doubling: int = 1) -> List[int]:
+    """Byte sizes 1 KB, 2 KB, ... up to ``max_kb`` (doubling grid).
+
+    The paper's Table 3 grid (plus the 0-byte point, which callers add
+    when they want pure-latency measurements).
+    """
+    if max_kb < 1:
+        raise ValueError("max_kb must be at least 1")
+    sizes = []
+    kb = 1
+    while kb <= max_kb:
+        sizes.append(kb * 1024)
+        kb *= 2
+    return sizes
+
+
+def processor_sweep(max_processors: int) -> List[int]:
+    """Processor counts 1, 2, 4, ... up to ``max_processors``."""
+    if max_processors < 1:
+        raise ValueError("max_processors must be at least 1")
+    counts = []
+    p = 1
+    while p <= max_processors:
+        counts.append(p)
+        p *= 2
+    return counts

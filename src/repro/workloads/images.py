@@ -1,0 +1,30 @@
+"""Synthetic test imagery with photographic statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gradient_noise_image"]
+
+
+def gradient_noise_image(
+    stream: np.random.Generator,
+    height: int,
+    width: int,
+    noise_sigma: float = 6.0,
+) -> np.ndarray:
+    """A deterministic grayscale image: smooth structure plus noise.
+
+    Smooth trigonometric gradients give realistic low-frequency
+    content (compressible DC/low-AC energy); band-limited noise keeps
+    the entropy coder honest.  Neither all-zero AC (trivially
+    compressible) nor white noise (incompressible) — it compresses
+    like a photograph, which is what the JPEG benchmark needs.
+    """
+    if height < 1 or width < 1:
+        raise ValueError("image dimensions must be positive")
+    y = np.linspace(0, 4 * np.pi, height).reshape(-1, 1)
+    x = np.linspace(0, 4 * np.pi, width).reshape(1, -1)
+    base = 128.0 + 60.0 * np.sin(y) * np.cos(x) + 40.0 * np.sin(0.5 * (x + y))
+    noise = stream.normal(0.0, noise_sigma, size=(height, width))
+    return np.clip(base + noise, 0, 255).astype(np.uint8)

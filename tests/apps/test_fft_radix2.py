@@ -1,0 +1,73 @@
+"""Unit tests for the radix-2 FFT against numpy's reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft.radix2 import fft1d, fft2d, fft2d_flops, fft_flops, ifft1d, ifft2d
+
+
+class TestFft1d:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        signal = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft1d(signal), np.fft.fft(signal), atol=1e-9)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft1d(np.zeros(12, dtype=complex))
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(3)
+        signal = rng.normal(size=128) + 1j * rng.normal(size=128)
+        assert np.allclose(ifft1d(fft1d(signal)), signal, atol=1e-10)
+
+    def test_batch_rows(self):
+        rng = np.random.default_rng(4)
+        block = rng.normal(size=(5, 32)) + 1j * rng.normal(size=(5, 32))
+        assert np.allclose(fft1d(block), np.fft.fft(block, axis=-1), atol=1e-9)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=64) + 0j
+        b = rng.normal(size=64) + 0j
+        assert np.allclose(fft1d(a + 2 * b), fft1d(a) + 2 * fft1d(b), atol=1e-9)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(6)
+        signal = rng.normal(size=256) + 1j * rng.normal(size=256)
+        spectrum = fft1d(signal)
+        assert np.sum(np.abs(signal) ** 2) == pytest.approx(
+            np.sum(np.abs(spectrum) ** 2) / 256
+        )
+
+
+class TestFft2d:
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        field = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+        assert np.allclose(fft2d(field), np.fft.fft2(field), atol=1e-9)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(9)
+        field = rng.normal(size=(16, 16)) + 1j * rng.normal(size=(16, 16))
+        assert np.allclose(ifft2d(fft2d(field)), field, atol=1e-10)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            fft2d(np.zeros(8, dtype=complex))
+
+
+class TestFlopCounts:
+    def test_fft_flops_formula(self):
+        assert fft_flops(8) == 5 * 8 * 3
+        assert fft_flops(1024) == 5 * 1024 * 10
+
+    def test_fft2d_flops_square(self):
+        n = 64
+        assert fft2d_flops(n, n) == 2 * n * fft_flops(n)
+
+    def test_flops_reject_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_flops(100)

@@ -1,0 +1,121 @@
+"""Unit tests for the JPEG codec (DCT, quantization, entropy model)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jpeg.codec import (
+    compress_strip,
+    compression_work,
+    decompress_strip,
+    psnr,
+    quantization_table,
+    zigzag_order,
+)
+from repro.apps.jpeg.dct import dct_matrix, forward_dct, inverse_dct
+from repro.apps.jpeg.parallel import synthetic_image
+from repro.errors import ApplicationError
+from repro.sim import RandomStreams
+
+
+class TestDct:
+    def test_basis_is_orthonormal(self):
+        basis = dct_matrix()
+        assert np.allclose(basis @ basis.T, np.eye(8), atol=1e-12)
+
+    def test_round_trip_identity(self):
+        rng = np.random.default_rng(1)
+        block = rng.uniform(-128, 127, size=(8, 8))
+        assert np.allclose(inverse_dct(forward_dct(block)), block, atol=1e-10)
+
+    def test_constant_block_is_pure_dc(self):
+        block = np.full((8, 8), 100.0)
+        coefficients = forward_dct(block)
+        assert coefficients[0, 0] == pytest.approx(800.0)  # 8 * mean
+        assert np.allclose(coefficients.ravel()[1:], 0.0, atol=1e-10)
+
+    def test_matches_scipy_convention(self):
+        scipy = pytest.importorskip("scipy.fft")
+        rng = np.random.default_rng(2)
+        block = rng.normal(size=(8, 8))
+        reference = scipy.dctn(block, norm="ortho")
+        assert np.allclose(forward_dct(block), reference, atol=1e-10)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            forward_dct(np.zeros((4, 4)))
+
+
+class TestQuantization:
+    def test_quality_50_is_standard_table(self):
+        table = quantization_table(50)
+        assert table[0, 0] == pytest.approx(16.0)
+
+    def test_higher_quality_smaller_steps(self):
+        q25 = quantization_table(25)
+        q90 = quantization_table(90)
+        assert np.all(q90 <= q25)
+
+    def test_bounds_clipped(self):
+        assert np.all(quantization_table(100) >= 1.0)
+        assert np.all(quantization_table(1) <= 255.0)
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ValueError):
+            quantization_table(0)
+        with pytest.raises(ValueError):
+            quantization_table(101)
+
+
+class TestZigzag:
+    def test_covers_all_positions_once(self):
+        order = zigzag_order()
+        assert len(order) == 64
+        assert len(set(order)) == 64
+
+    def test_starts_dc_then_first_diagonal(self):
+        order = zigzag_order()
+        assert order[0] == (0, 0)
+        assert set(order[1:3]) == {(0, 1), (1, 0)}
+
+    def test_ends_bottom_right(self):
+        assert zigzag_order()[-1] == (7, 7)
+
+
+class TestCodecEndToEnd:
+    @pytest.fixture
+    def image(self):
+        return synthetic_image(RandomStreams(7), height=64, width=64)
+
+    def test_round_trip_quality(self, image):
+        tokens, nbytes = compress_strip(image, quality=75)
+        reconstructed = decompress_strip(tokens, image.shape, quality=75)
+        assert psnr(image, reconstructed) > 30.0
+
+    def test_compression_actually_compresses(self, image):
+        _, nbytes = compress_strip(image, quality=75)
+        assert nbytes < image.size / 2
+
+    def test_lower_quality_fewer_bytes(self, image):
+        _, high = compress_strip(image, quality=90)
+        _, low = compress_strip(image, quality=20)
+        assert low < high
+
+    def test_lower_quality_lower_psnr(self, image):
+        tokens_hi, _ = compress_strip(image, quality=90)
+        tokens_lo, _ = compress_strip(image, quality=10)
+        hi = psnr(image, decompress_strip(tokens_hi, image.shape, quality=90))
+        lo = psnr(image, decompress_strip(tokens_lo, image.shape, quality=10))
+        assert hi > lo
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ApplicationError):
+            compress_strip(np.zeros((60, 64)))
+
+    def test_psnr_identical_images_infinite(self, image):
+        assert psnr(image, image.astype(np.float64)) == float("inf")
+
+    def test_compression_work_scales_with_pixels(self):
+        small = compression_work(64 * 64)
+        large = compression_work(128 * 128)
+        assert large.flops == pytest.approx(4 * small.flops)
+        assert large.int_ops == pytest.approx(4 * small.int_ops)

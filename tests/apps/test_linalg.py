@@ -1,0 +1,104 @@
+"""Tests for the extension applications (matmul, LU)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LuDecomposition, MatrixMultiply, EXTENSION_APPS, create_application
+from repro.errors import ApplicationError
+from repro.hardware import build_platform
+from repro.tools import PAPER_TOOL_NAMES, create_tool
+
+
+def run_app(app, tool_name="p4", platform_name="alpha-fddi", processors=4):
+    platform = build_platform(platform_name, processors=processors)
+    tool = create_tool(tool_name, platform)
+    return app.run(tool, processors=processors)
+
+
+class TestMatrixMultiply:
+    @pytest.mark.parametrize("tool_name", PAPER_TOOL_NAMES)
+    def test_correct_under_all_tools(self, tool_name):
+        result = run_app(MatrixMultiply(n=48), tool_name=tool_name)
+        assert result.elapsed_seconds > 0
+
+    def test_single_processor(self):
+        result = run_app(MatrixMultiply(n=32), processors=1)
+        assert result.elapsed_seconds > 0
+
+    def test_band_values_match_numpy(self):
+        app = MatrixMultiply(n=40)
+        platform = build_platform("alpha-fddi", processors=4)
+        tool = create_tool("p4", platform)
+        workload = app.make_workload(platform.rng)
+        run = app.run(tool, processors=4, workload=workload)
+        expected = workload.full_a(4) @ workload.b_matrix()
+        for result in run.rank_outputs:
+            top, bottom = result["bounds"]
+            assert np.allclose(result["band"], expected[top:bottom])
+
+    def test_speedup_on_fast_network(self):
+        # Large enough that O(n^3) compute dominates the O(n^2)
+        # broadcast of B over FDDI.
+        t1 = run_app(MatrixMultiply(n=256), processors=1).elapsed_seconds
+        t4 = run_app(MatrixMultiply(n=256), processors=4).elapsed_seconds
+        assert t4 < t1 / 1.5
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixMultiply(n=0)
+
+
+class TestLuDecomposition:
+    @pytest.mark.parametrize("tool_name", PAPER_TOOL_NAMES)
+    def test_correct_under_all_tools(self, tool_name):
+        result = run_app(LuDecomposition(n=24), tool_name=tool_name)
+        assert result.elapsed_seconds > 0
+
+    def test_single_processor(self):
+        result = run_app(LuDecomposition(n=16), processors=1)
+        assert result.elapsed_seconds > 0
+
+    def test_factorization_reconstructs_matrix(self):
+        app = LuDecomposition(n=32)
+        platform = build_platform("alpha-fddi", processors=4)
+        tool = create_tool("p4", platform)
+        workload = app.make_workload(platform.rng)
+        run = app.run(tool, processors=4, workload=workload)
+        n = workload.n
+        combined = np.zeros((n, n))
+        for result in run.rank_outputs:
+            for index, row in result["rows"].items():
+                combined[index] = row
+        lower = np.tril(combined, k=-1) + np.eye(n)
+        upper = np.triu(combined)
+        assert np.allclose(lower @ upper, workload.matrix(), atol=1e-8)
+
+    def test_latency_sensitivity(self):
+        """LU's n broadcasts make PVM's daemon latency visible."""
+        p4_time = run_app(LuDecomposition(n=48), tool_name="p4").elapsed_seconds
+        pvm_time = run_app(LuDecomposition(n=48), tool_name="pvm").elapsed_seconds
+        assert pvm_time > p4_time * 1.5
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            LuDecomposition(n=1)
+
+
+class TestRegistry:
+    def test_extension_apps_registered(self):
+        assert EXTENSION_APPS == ("lu", "matmul")
+
+    def test_create_by_name(self):
+        assert create_application("matmul", n=16).n == 16
+        assert create_application("lu", n=16).n == 16
+
+    def test_verification_catches_corruption(self):
+        app = MatrixMultiply(n=16)
+        platform = build_platform("alpha-fddi", processors=2)
+        workload = app.make_workload(platform.rng)
+        bogus = [
+            {"band": np.zeros((8, 16)), "bounds": (0, 8)},
+            {"band": np.zeros((8, 16)), "bounds": (8, 16)},
+        ]
+        with pytest.raises(ApplicationError):
+            app.verify(workload, bogus)

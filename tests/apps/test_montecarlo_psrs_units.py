@@ -1,0 +1,101 @@
+"""Unit tests for Monte Carlo integrators and PSRS algorithm pieces."""
+
+import numpy as np
+import pytest
+
+from repro.apps.montecarlo.integrators import (
+    INTEGRANDS,
+    estimate,
+    sample_sum,
+    sampling_work,
+)
+from repro.apps.sorting.psrs import (
+    local_sort_work,
+    merge_sorted_runs,
+    merge_work,
+    partition_by_pivots,
+    regular_sample,
+    select_pivots,
+)
+
+
+class TestIntegrators:
+    @pytest.mark.parametrize("name", sorted(INTEGRANDS))
+    def test_estimate_converges_to_exact(self, name):
+        integrand, interval, exact = INTEGRANDS[name]
+        rng = np.random.default_rng(42)
+        total, total_sq = sample_sum(integrand, interval, 200_000, rng)
+        value, stderr = estimate(total, total_sq, 200_000, interval)
+        assert abs(value - exact) < 6 * stderr + 1e-9
+
+    def test_stderr_shrinks_with_samples(self):
+        integrand, interval, _ = INTEGRANDS["witch-of-agnesi"]
+        rng = np.random.default_rng(1)
+        t_small, sq_small = sample_sum(integrand, interval, 1_000, rng)
+        _, err_small = estimate(t_small, sq_small, 1_000, interval)
+        t_big, sq_big = sample_sum(integrand, interval, 100_000, rng)
+        _, err_big = estimate(t_big, sq_big, 100_000, interval)
+        assert err_big < err_small
+
+    def test_chunking_does_not_change_totals(self):
+        integrand, interval, _ = INTEGRANDS["quarter-circle"]
+        a = sample_sum(integrand, interval, 10_000, np.random.default_rng(5), chunk=100)
+        b = sample_sum(integrand, interval, 10_000, np.random.default_rng(5), chunk=10_000)
+        assert a[0] == pytest.approx(b[0])
+        assert a[1] == pytest.approx(b[1])
+
+    def test_estimate_needs_samples(self):
+        with pytest.raises(ValueError):
+            estimate(0.0, 0.0, 1, (0, 1))
+
+    def test_sampling_work_scales_linearly(self):
+        assert sampling_work(2000).flops == pytest.approx(2 * sampling_work(1000).flops)
+
+
+class TestPsrsPieces:
+    def test_regular_sample_spacing(self):
+        block = np.arange(100)
+        samples = regular_sample(block, 4)
+        assert list(samples) == [0, 25, 50, 75]
+
+    def test_regular_sample_empty_block(self):
+        assert len(regular_sample(np.array([], dtype=np.int64), 4)) == 0
+
+    def test_select_pivots_count(self):
+        samples = np.arange(16)
+        pivots = select_pivots(samples, 4)
+        assert len(pivots) == 3
+        assert list(pivots) == sorted(pivots)
+
+    def test_partition_by_pivots_is_ordered_partition(self):
+        block = np.sort(np.random.default_rng(3).integers(0, 1000, size=200))
+        pivots = np.array([250, 500, 750])
+        segments = partition_by_pivots(block, pivots)
+        assert len(segments) == 4
+        assert sum(len(segment) for segment in segments) == 200
+        assert np.all(segments[0] <= 250)
+        assert np.all(segments[1] > 250) and np.all(segments[1] <= 500)
+        assert np.all(segments[3] > 750)
+
+    def test_partition_reassembles(self):
+        block = np.sort(np.random.default_rng(4).integers(0, 100, size=50))
+        segments = partition_by_pivots(block, np.array([30, 60]))
+        assert np.array_equal(np.concatenate(segments), block)
+
+    def test_merge_sorted_runs(self):
+        runs = [np.array([1, 4, 9]), np.array([2, 3, 10]), np.array([], dtype=np.int64)]
+        merged = merge_sorted_runs(runs)
+        assert list(merged) == [1, 2, 3, 4, 9, 10]
+
+    def test_merge_empty(self):
+        assert len(merge_sorted_runs([])) == 0
+
+    def test_sort_work_superlinear(self):
+        assert local_sort_work(2000).int_ops > 2 * local_sort_work(1000).int_ops
+
+    def test_sort_work_trivial_sizes(self):
+        assert local_sort_work(0).int_ops == 0
+        assert local_sort_work(1).int_ops == 0
+
+    def test_merge_work_grows_with_ways(self):
+        assert merge_work(1000, 8).int_ops > merge_work(1000, 2).int_ops

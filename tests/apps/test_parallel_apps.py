@@ -1,0 +1,120 @@
+"""Integration tests: each application runs correctly under each tool.
+
+Small workloads keep these fast; correctness is identical at any size
+(algorithms are real), while timing fidelity is covered by the bench
+shape tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    JpegCompression,
+    MonteCarloIntegration,
+    ParallelFft2d,
+    PsrsSort,
+    create_application,
+)
+from repro.hardware import build_platform
+from repro.tools import PAPER_TOOL_NAMES, create_tool
+
+
+def run_app(app, tool_name="p4", platform_name="alpha-fddi", processors=4):
+    platform = build_platform(platform_name, processors=processors)
+    tool = create_tool(tool_name, platform)
+    return app.run(tool, processors=processors)
+
+
+SMALL_APPS = {
+    "jpeg": lambda: JpegCompression(height=64, width=64),
+    "fft2d": lambda: ParallelFft2d(size=32),
+    "montecarlo": lambda: MonteCarloIntegration(samples=40_000),
+    "psrs": lambda: PsrsSort(keys=4_000),
+}
+
+
+@pytest.mark.parametrize("app_name", sorted(SMALL_APPS))
+@pytest.mark.parametrize("tool_name", PAPER_TOOL_NAMES)
+class TestAppsUnderAllTools:
+    def test_runs_and_verifies(self, app_name, tool_name):
+        app = SMALL_APPS[app_name]()
+        result = run_app(app, tool_name=tool_name)
+        assert result.elapsed_seconds > 0
+        assert result.tool_name == tool_name
+
+    def test_single_processor(self, app_name, tool_name):
+        app = SMALL_APPS[app_name]()
+        result = run_app(app, tool_name=tool_name, processors=1)
+        assert result.elapsed_seconds > 0
+
+
+class TestAppBehaviour:
+    def test_jpeg_output_fields(self):
+        result = run_app(SMALL_APPS["jpeg"]())
+        assert result.output["compressed_bytes"] < result.output["original_bytes"]
+
+    def test_fft_spectrum_matches_numpy(self):
+        app = SMALL_APPS["fft2d"]()
+        platform = build_platform("alpha-fddi", processors=4)
+        tool = create_tool("p4", platform)
+        workload = app.make_workload(platform.rng)
+        run = app.run(tool, processors=4, workload=workload)
+        expected = np.fft.fft2(workload.full_field(4))
+        for result in run.rank_outputs:
+            top, bottom = result["bounds"]
+            assert np.allclose(result["columns_band"].T, expected[:, top:bottom], atol=1e-8)
+
+    def test_psrs_partitions_cover_input(self):
+        result = run_app(SMALL_APPS["psrs"](), processors=4)
+        total = sum(len(rank_out["partition"]) for rank_out in result.rank_outputs)
+        assert total == 4_000
+
+    def test_montecarlo_estimate_near_pi(self):
+        result = run_app(SMALL_APPS["montecarlo"]())
+        assert result.output["value"] == pytest.approx(np.pi, abs=0.05)
+
+    def test_montecarlo_deterministic_given_seed(self):
+        values = []
+        for _ in range(2):
+            platform = build_platform("alpha-fddi", processors=4, seed=11)
+            tool = create_tool("p4", platform)
+            app = SMALL_APPS["montecarlo"]()
+            run = app.run(tool, processors=4)
+            values.append(run.output["value"])
+        assert values[0] == values[1]
+
+    def test_more_processors_less_elapsed_compute_bound(self):
+        """Monte Carlo on FDDI is compute bound: speedup must be real."""
+        app = SMALL_APPS["montecarlo"]()
+        t1 = run_app(app, processors=1).elapsed_seconds
+        t4 = run_app(app, processors=4).elapsed_seconds
+        assert t4 < t1 / 2
+
+    def test_elapsed_times_differ_between_tools(self):
+        app = SMALL_APPS["jpeg"]()
+        times = {
+            tool: run_app(app, tool_name=tool, platform_name="sun-ethernet").elapsed_seconds
+            for tool in PAPER_TOOL_NAMES
+        }
+        assert len(set(times.values())) == 3
+
+
+class TestSuiteRegistry:
+    def test_create_application_by_name(self):
+        app = create_application("fft2d", size=16)
+        assert app.size == 16
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(KeyError):
+            create_application("skynet")
+
+    def test_table2_classes_cover_benchmarked_apps(self):
+        from repro.apps import APPLICATION_CLASSES, SU_PDABS_TABLE
+
+        for app_name, class_name in APPLICATION_CLASSES.items():
+            assert class_name in SU_PDABS_TABLE
+
+    def test_table2_has_four_classes(self):
+        from repro.apps import SU_PDABS_TABLE
+
+        assert len(SU_PDABS_TABLE) == 4

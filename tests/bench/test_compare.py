@@ -1,0 +1,89 @@
+"""Unit tests for the shape-check machinery."""
+
+from repro.bench.compare import (
+    CheckResult,
+    all_passed,
+    check_monotone_decreasing,
+    check_monotone_increasing,
+    check_ordering,
+    check_ratio_band,
+    check_within_factor,
+    failures,
+)
+
+
+class TestCheckOrdering:
+    def test_correct_order_passes(self):
+        check = check_ordering("x", {"a": 1.0, "b": 2.0, "c": 3.0}, ["a", "b", "c"])
+        assert check.passed
+
+    def test_wrong_order_fails(self):
+        check = check_ordering("x", {"a": 3.0, "b": 2.0}, ["a", "b"])
+        assert not check.passed
+        assert "expected" in check.detail
+
+    def test_subset_ordering_ignores_other_keys(self):
+        check = check_ordering("x", {"a": 1.0, "b": 2.0, "z": 0.1}, ["a", "b"])
+        assert check.passed
+
+
+class TestCheckWithinFactor:
+    def test_exact_match_passes(self):
+        assert check_within_factor("x", 10.0, 10.0, 1.5).passed
+
+    def test_within_band_passes(self):
+        assert check_within_factor("x", 14.0, 10.0, 1.5).passed
+        assert check_within_factor("x", 7.0, 10.0, 1.5).passed
+
+    def test_outside_band_fails(self):
+        assert not check_within_factor("x", 16.0, 10.0, 1.5).passed
+        assert not check_within_factor("x", 6.0, 10.0, 1.5).passed
+
+    def test_non_positive_fails(self):
+        assert not check_within_factor("x", 0.0, 10.0, 1.5).passed
+        assert not check_within_factor("x", 10.0, 0.0, 1.5).passed
+
+
+class TestMonotone:
+    def test_decreasing_passes(self):
+        assert check_monotone_decreasing("x", [4.0, 3.0, 2.0]).passed
+
+    def test_increase_fails(self):
+        assert not check_monotone_decreasing("x", [4.0, 5.0, 2.0]).passed
+
+    def test_slack_tolerates_small_bumps(self):
+        assert check_monotone_decreasing("x", [4.0, 4.1, 2.0], slack=0.05).passed
+
+    def test_increasing_passes(self):
+        assert check_monotone_increasing("x", [1.0, 2.0, 3.0]).passed
+
+    def test_decrease_fails_increasing(self):
+        assert not check_monotone_increasing("x", [1.0, 0.5]).passed
+
+    def test_single_point_trivially_passes(self):
+        assert check_monotone_decreasing("x", [1.0]).passed
+
+
+class TestRatioBand:
+    def test_inside_band(self):
+        assert check_ratio_band("x", 2.0, 1.0, low=1.5, high=2.5).passed
+
+    def test_below_low_fails(self):
+        assert not check_ratio_band("x", 1.0, 1.0, low=1.5).passed
+
+    def test_open_upper_bound(self):
+        assert check_ratio_band("x", 100.0, 1.0, low=1.5).passed
+
+    def test_zero_denominator_fails(self):
+        assert not check_ratio_band("x", 1.0, 0.0, low=0.5).passed
+
+
+class TestAggregation:
+    def test_all_passed_and_failures(self):
+        checks = [CheckResult("a", True), CheckResult("b", False, "why")]
+        assert not all_passed(checks)
+        assert [check.name for check in failures(checks)] == ["b"]
+
+    def test_repr_contains_status(self):
+        assert "PASS" in repr(CheckResult("a", True))
+        assert "FAIL" in repr(CheckResult("a", False))

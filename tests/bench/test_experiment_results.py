@@ -1,0 +1,47 @@
+"""Tests for ExperimentResult behaviour and fast experiment slices."""
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    run_fig2_broadcast,
+    run_fig3_ring,
+    run_table3,
+)
+from repro.bench.compare import CheckResult
+
+
+class TestExperimentResult:
+    def test_passed_requires_all_checks(self):
+        good = ExperimentResult("X", "t", "body", [CheckResult("a", True)])
+        bad = ExperimentResult("X", "t", "body", [CheckResult("a", False)])
+        assert good.passed and not bad.passed
+
+    def test_render_contains_body_and_checks(self):
+        result = ExperimentResult("X", "Title", "BODY", [CheckResult("c1", True, "d")])
+        text = result.render()
+        assert "BODY" in text and "c1" in text and "Title" in text
+
+    def test_repr_counts_checks(self):
+        result = ExperimentResult(
+            "X", "t", "b", [CheckResult("a", True), CheckResult("b", False)]
+        )
+        assert "1/2" in repr(result)
+
+
+class TestFastSlices:
+    """Reduced-size experiment runs keep the claims checkable in CI."""
+
+    def test_table3_reduced_sizes(self):
+        result = run_table3(sizes_kb=(16, 64))
+        assert result.passed, result.render()
+
+    def test_fig2_single_size(self):
+        result = run_fig2_broadcast("ethernet", sizes_kb=(64,))
+        assert result.passed, result.render()
+
+    def test_fig3_single_size(self):
+        result = run_fig3_ring("ethernet", sizes_kb=(64,))
+        assert result.passed, result.render()
+
+    def test_fig3_atm_single_size(self):
+        result = run_fig3_ring("atm", sizes_kb=(64,))
+        assert result.passed, result.render()

@@ -1,0 +1,70 @@
+"""Tests for the measurement runners (repro.core.measurements)."""
+
+import pytest
+
+from repro.core.measurements import (
+    measure_application,
+    measure_barrier,
+    measure_broadcast,
+    measure_global_sum,
+    measure_ring,
+    measure_sendrecv,
+)
+
+
+class TestPrimitiveRunners:
+    def test_sendrecv_zero_bytes_positive_time(self):
+        assert measure_sendrecv("p4", "sun-ethernet", 0) > 0
+
+    def test_sendrecv_scales_with_size(self):
+        small = measure_sendrecv("p4", "sun-ethernet", 1024)
+        large = measure_sendrecv("p4", "sun-ethernet", 65536)
+        assert large > 10 * small
+
+    def test_broadcast_grows_with_processors(self):
+        two = measure_broadcast("express", "sun-ethernet", 16384, processors=2)
+        eight = measure_broadcast("express", "sun-ethernet", 16384, processors=8)
+        assert eight > two
+
+    def test_ring_needs_multiple_ranks(self):
+        assert measure_ring("p4", "sun-ethernet", 1024, processors=2) > 0
+
+    def test_global_sum_none_for_pvm(self):
+        assert measure_global_sum("pvm", "sun-ethernet", 100) is None
+
+    def test_global_sum_positive_for_p4(self):
+        assert measure_global_sum("p4", "sun-ethernet", 100) > 0
+
+    def test_barrier_positive(self):
+        assert measure_barrier("pvm", "sun-atm-lan", processors=4) > 0
+
+    def test_runs_are_independent(self):
+        """Fresh platform per call: order of calls cannot matter."""
+        a1 = measure_sendrecv("p4", "sun-ethernet", 4096)
+        measure_sendrecv("express", "sun-ethernet", 65536)
+        a2 = measure_sendrecv("p4", "sun-ethernet", 4096)
+        assert a1 == a2
+
+
+class TestApplicationRunner:
+    def test_measure_application_with_params(self):
+        elapsed = measure_application(
+            "fft2d", "p4", "alpha-fddi", processors=2, size=32
+        )
+        assert elapsed > 0
+
+    def test_check_flag_verifies(self):
+        elapsed = measure_application(
+            "montecarlo", "p4", "alpha-fddi", processors=2, check=True, samples=20_000
+        )
+        assert elapsed > 0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            measure_application("skynet", "p4", "alpha-fddi", processors=2)
+
+    def test_single_processor_allowed(self):
+        elapsed = measure_application(
+            "psrs", "p4", "alpha-fddi", processors=1, keys=2_000
+        )
+        assert elapsed > 0

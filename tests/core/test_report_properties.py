@@ -1,0 +1,71 @@
+"""Property tests for the scoring/weighting math (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ADL, APL, TPL, WeightProfile, aggregate_scores, ratio_scores
+
+score = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestRatioScoreProperties:
+    @given(values=st.dictionaries(st.sampled_from("abcde"), positive, min_size=1))
+    @settings(max_examples=60, deadline=None)
+    def test_scores_in_unit_interval_and_best_is_one(self, values):
+        scores = ratio_scores(values)
+        assert all(0.0 < s <= 1.0 for s in scores.values())
+        assert max(scores.values()) == 1.0
+
+    @given(values=st.dictionaries(st.sampled_from("abcde"), positive, min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_score_order_inverts_value_order(self, values):
+        scores = ratio_scores(values)
+        by_value = sorted(values, key=lambda k: values[k])
+        by_score = sorted(scores, key=lambda k: -scores[k])
+        assert [values[k] for k in by_value] == sorted(values.values())
+        # Equal values may tie; compare the sorted numeric sequences.
+        assert sorted(scores.values(), reverse=True) == [
+            scores[k] for k in sorted(scores, key=lambda k: values[k])
+        ]
+
+    @given(
+        values=st.dictionaries(st.sampled_from("abcde"), positive, min_size=1),
+        scale=positive,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scores_scale_invariant(self, values, scale):
+        base = ratio_scores(values)
+        scaled = ratio_scores({k: v * scale for k, v in values.items()})
+        for key in values:
+            assert abs(base[key] - scaled[key]) < 1e-9
+
+
+class TestWeightProperties:
+    @given(tpl=score, apl=score, adl=score, w1=positive, w2=positive, w3=positive)
+    @settings(max_examples=60, deadline=None)
+    def test_overall_bounded_by_level_scores(self, tpl, apl, adl, w1, w2, w3):
+        profile = WeightProfile("x", {TPL: w1, APL: w2, ADL: w3})
+        overall = profile.overall({TPL: tpl, APL: apl, ADL: adl})
+        assert min(tpl, apl, adl) - 1e-9 <= overall <= max(tpl, apl, adl) + 1e-9
+
+    @given(tpl=score, apl=score, adl=score, bump=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_overall_monotone_in_each_level(self, tpl, apl, adl, bump):
+        profile = WeightProfile("x", {TPL: 1.0, APL: 1.0, ADL: 1.0})
+        base = profile.overall({TPL: tpl, APL: apl, ADL: adl})
+        better = profile.overall({TPL: min(tpl + bump, 1.0), APL: apl, ADL: adl})
+        assert better >= base - 1e-12
+
+    @given(
+        sets=st.lists(
+            st.dictionaries(st.sampled_from("ab"), score, min_size=2, max_size=2),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aggregate_stays_in_convex_hull(self, sets):
+        combined = aggregate_scores(sets)
+        for tool in ("a", "b"):
+            per_set = [s[tool] for s in sets]
+            assert min(per_set) - 1e-12 <= combined[tool] <= max(per_set) + 1e-12

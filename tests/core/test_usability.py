@@ -1,0 +1,99 @@
+"""Unit tests for the ADL usability matrix (the paper's Section 3.3.1)."""
+
+import pytest
+
+from repro.core import (
+    ADL_CRITERIA,
+    NS,
+    PS,
+    Rating,
+    USABILITY_MATRIX,
+    WS,
+    adl_score,
+    usability_ratings,
+)
+from repro.core.report import render_usability_table
+from repro.errors import EvaluationError
+
+
+class TestRatings:
+    def test_scores(self):
+        assert WS.score == 1.0
+        assert PS.score == 0.5
+        assert NS.score == 0.0
+
+    def test_from_code(self):
+        assert Rating.from_code("ws") is WS
+        assert Rating.from_code("PS") is PS
+
+    def test_from_code_unknown(self):
+        with pytest.raises(EvaluationError):
+            Rating.from_code("XX")
+
+
+class TestPaperMatrix:
+    """The matrix must reproduce the paper's table cell by cell."""
+
+    def test_nine_criteria(self):
+        assert len(ADL_CRITERIA) == 9
+        assert set(USABILITY_MATRIX) == {c.key for c in ADL_CRITERIA}
+
+    @pytest.mark.parametrize(
+        "criterion,expected",
+        [
+            ("programming-models", {"p4": WS, "pvm": WS, "express": WS}),
+            ("language-interface", {"p4": WS, "pvm": WS, "express": WS}),
+            ("ease-of-programming", {"p4": PS, "pvm": WS, "express": PS}),
+            ("debugging-support", {"p4": PS, "pvm": PS, "express": WS}),
+            ("customization", {"p4": PS, "pvm": NS, "express": PS}),
+            ("error-handling", {"p4": PS, "pvm": PS, "express": PS}),
+            ("run-time-interface", {"p4": PS, "pvm": WS, "express": WS}),
+            ("integration", {"p4": PS, "pvm": WS, "express": NS}),
+            ("portability", {"p4": WS, "pvm": WS, "express": WS}),
+        ],
+    )
+    def test_cells_match_paper(self, criterion, expected):
+        for tool, rating in expected.items():
+            assert USABILITY_MATRIX[criterion][tool] == rating
+
+    def test_error_handling_is_ps_for_all(self):
+        """'All the tools ... do not have a mature error/exception
+        handling feature' (Section 2.3)."""
+        row = USABILITY_MATRIX["error-handling"]
+        assert all(row[tool] == PS for tool in ("p4", "pvm", "express"))
+
+
+class TestAdlScore:
+    def test_scores_in_unit_interval(self):
+        for tool in ("p4", "pvm", "express"):
+            assert 0.0 <= adl_score(tool) <= 1.0
+
+    def test_pvm_highest_adl(self):
+        """PVM's column has the most WS cells (6 of 9)."""
+        assert adl_score("pvm") > adl_score("express") > adl_score("p4")
+
+    def test_exact_equal_weight_scores(self):
+        # p4: 3 WS + 6 PS = (3 + 3) / 9
+        assert adl_score("p4") == pytest.approx(6 / 9)
+        # pvm: 6 WS + 2 PS + 1 NS = 7 / 9
+        assert adl_score("pvm") == pytest.approx(7 / 9)
+        # express: 5 WS + 3 PS + 1 NS = 6.5 / 9
+        assert adl_score("express") == pytest.approx(6.5 / 9)
+
+    def test_unassessed_tool_rejected(self):
+        with pytest.raises(EvaluationError):
+            usability_ratings("linda")
+
+
+class TestRenderTable:
+    def test_contains_all_rows_and_codes(self):
+        table = render_usability_table()
+        for criterion in ADL_CRITERIA:
+            assert criterion.title in table
+        assert "WS" in table and "PS" in table and "NS" in table
+
+    def test_column_per_tool(self):
+        table = render_usability_table()
+        header = table.splitlines()[0]
+        for tool in ("p4", "pvm", "express"):
+            assert tool in header

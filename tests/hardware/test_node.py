@@ -1,0 +1,139 @@
+"""Unit tests for repro.hardware.node."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import Node, NodeSpec, Work
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def spec():
+    return NodeSpec("Test Machine", clock_mhz=50.0, mips=25.0, mflops=5.0, mem_mbps=50.0)
+
+
+class TestWork:
+    def test_defaults_are_zero(self):
+        work = Work()
+        assert work.flops == 0.0
+        assert work.int_ops == 0.0
+        assert work.mem_bytes == 0.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Work(flops=-1)
+
+    def test_addition(self):
+        total = Work(flops=1, int_ops=2) + Work(flops=3, mem_bytes=4)
+        assert total == Work(flops=4, int_ops=2, mem_bytes=4)
+
+    def test_scaling(self):
+        assert 2 * Work(flops=3, int_ops=1) == Work(flops=6, int_ops=2)
+
+    def test_equality_with_non_work(self):
+        assert Work() != "not work"
+
+
+class TestNodeSpec:
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec("bad", clock_mhz=10, mips=0, mflops=1, mem_mbps=1)
+
+    def test_duration_flops_only(self, spec):
+        assert spec.duration(Work(flops=5e6)) == pytest.approx(1.0)
+
+    def test_duration_int_ops_only(self, spec):
+        assert spec.duration(Work(int_ops=25e6)) == pytest.approx(1.0)
+
+    def test_duration_mem_only(self, spec):
+        assert spec.duration(Work(mem_bytes=50e6)) == pytest.approx(1.0)
+
+    def test_duration_is_additive(self, spec):
+        combined = Work(flops=5e6, int_ops=25e6, mem_bytes=50e6)
+        assert spec.duration(combined) == pytest.approx(3.0)
+
+    def test_software_seconds_scaling(self, spec):
+        reference = NodeSpec("ref", clock_mhz=40, mips=50.0, mflops=5, mem_mbps=30)
+        # Cost calibrated at 50 MIPS runs 2x slower on a 25 MIPS host.
+        assert spec.software_seconds(1.0, reference) == pytest.approx(2.0)
+
+    def test_repr_contains_name(self, spec):
+        assert "Test Machine" in repr(spec)
+
+
+class TestNode:
+    def test_use_cpu_advances_time(self, env, spec):
+        node = Node(env, 0, spec)
+
+        def proc(env):
+            yield from node.use_cpu(2.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_use_cpu_zero_is_free(self, env, spec):
+        node = Node(env, 0, spec)
+
+        def proc(env):
+            yield from node.use_cpu(0.0)
+            yield env.timeout(0.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 0.0
+
+    def test_use_cpu_negative_rejected(self, env, spec):
+        node = Node(env, 0, spec)
+        with pytest.raises(ValueError):
+            list(node.use_cpu(-1.0))
+
+    def test_concurrent_cpu_use_serializes(self, env, spec):
+        """Two activities on one host take the sum of their times."""
+        node = Node(env, 0, spec)
+
+        def proc(env):
+            yield from node.use_cpu(1.0)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_cpu_use_on_different_nodes_overlaps(self, env, spec):
+        node_a = Node(env, 0, spec)
+        node_b = Node(env, 1, spec)
+
+        def proc(env, node):
+            yield from node.use_cpu(1.0)
+
+        env.process(proc(env, node_a))
+        env.process(proc(env, node_b))
+        env.run()
+        assert env.now == pytest.approx(1.0)
+
+    def test_execute_charges_spec_duration(self, env, spec):
+        node = Node(env, 0, spec)
+
+        def proc(env):
+            yield from node.execute(Work(flops=10e6))
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_software_cost_scales_from_reference(self, env, spec):
+        node = Node(env, 0, spec)
+        reference = NodeSpec("ref", clock_mhz=40, mips=50.0, mflops=5, mem_mbps=30)
+
+        def proc(env):
+            yield from node.software_cost(1.0, reference)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == pytest.approx(2.0)

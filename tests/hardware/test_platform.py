@@ -1,0 +1,106 @@
+"""Unit tests for platform assembly and the paper's platform catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    PLATFORM_DEFAULT_PROCESSORS,
+    PLATFORM_NAMES,
+    Node,
+    Platform,
+    SPARC_ELC,
+    build_platform,
+)
+from repro.net import AllnodeSwitch, AtmLan, AtmWan, Ethernet, FddiRing
+from repro.sim import Environment
+
+
+class TestPlatformAssembly:
+    def test_empty_platform_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            Platform("x", env, [], Ethernet(env, 1))
+
+    def test_network_size_mismatch_rejected(self):
+        env = Environment()
+        nodes = [Node(env, 0, SPARC_ELC)]
+        with pytest.raises(ConfigurationError):
+            Platform("x", env, nodes, Ethernet(env, 2))
+
+    def test_misnumbered_nodes_rejected(self):
+        env = Environment()
+        nodes = [Node(env, 5, SPARC_ELC)]
+        with pytest.raises(ConfigurationError):
+            Platform("x", env, nodes, Ethernet(env, 1))
+
+    def test_node_lookup(self):
+        platform = build_platform("sun-ethernet", processors=3)
+        assert platform.node(2).node_id == 2
+        with pytest.raises(ConfigurationError):
+            platform.node(3)
+
+    def test_describe_mentions_network(self):
+        platform = build_platform("sun-ethernet", processors=2)
+        assert "ethernet" in platform.describe()
+
+
+class TestCatalog:
+    def test_all_names_buildable(self):
+        for name in PLATFORM_NAMES:
+            platform = build_platform(name)
+            assert platform.node_count == PLATFORM_DEFAULT_PROCESSORS[name]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_platform("cray-t3d")
+
+    def test_processor_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            build_platform("sun-ethernet", processors=0)
+        with pytest.raises(ConfigurationError):
+            build_platform("sun-ethernet", processors=9)
+        with pytest.raises(ConfigurationError):
+            build_platform("sun-atm-wan", processors=5)
+
+    @pytest.mark.parametrize(
+        "name,network_type,host",
+        [
+            ("sun-ethernet", Ethernet, "SPARCstation ELC"),
+            ("sun-atm-lan", AtmLan, "SPARCstation IPX"),
+            ("sun-atm-wan", AtmWan, "SPARCstation IPX"),
+            ("alpha-fddi", FddiRing, "DEC Alpha 3000"),
+            ("sp1-switch", AllnodeSwitch, "IBM RS/6000-370"),
+            ("sp1-ethernet", Ethernet, "IBM RS/6000-370"),
+        ],
+    )
+    def test_recipes_match_paper(self, name, network_type, host):
+        platform = build_platform(name, processors=2)
+        assert isinstance(platform.network, network_type)
+        assert platform.node_spec.name == host
+
+    def test_atm_wan_is_wan_kind(self):
+        platform = build_platform("sun-atm-wan", processors=2)
+        assert platform.network.kind == "atm-wan"
+
+    def test_fresh_environment_per_build(self):
+        a = build_platform("sun-ethernet", processors=2)
+        b = build_platform("sun-ethernet", processors=2)
+        assert a.env is not b.env
+
+    def test_seed_flows_into_rng(self):
+        platform = build_platform("sun-ethernet", processors=2, seed=123)
+        assert platform.rng.seed == 123
+
+    def test_alpha_faster_than_sparc(self):
+        """The spec ratios that drive Figures 5 vs 8: Alpha >> SPARC."""
+        alpha = build_platform("alpha-fddi", processors=2).node_spec
+        sparc = build_platform("sun-ethernet", processors=2).node_spec
+        assert alpha.mips > 4 * sparc.mips
+        assert alpha.mflops > 4 * sparc.mflops
+
+    def test_sp1_between_alpha_and_sparc(self):
+        """Paper: SP-1 apps slower than Alpha cluster, faster than SUNs."""
+        alpha = build_platform("alpha-fddi", processors=2).node_spec
+        sp1 = build_platform("sp1-switch", processors=2).node_spec
+        sparc = build_platform("sun-ethernet", processors=2).node_spec
+        assert sparc.mips < sp1.mips < alpha.mips

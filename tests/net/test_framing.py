@@ -1,0 +1,73 @@
+"""Unit tests for frame/cell arithmetic (repro.net.base, repro.net.atm)."""
+
+import pytest
+
+from repro.net import FrameFormat, cells_for
+
+
+class TestFrameFormat:
+    def test_payload_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrameFormat(0, 10)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            FrameFormat(100, -1)
+
+    def test_frame_count_exact_multiple(self):
+        fmt = FrameFormat(1000, 50)
+        assert fmt.frame_count(3000) == 3
+
+    def test_frame_count_rounds_up(self):
+        fmt = FrameFormat(1000, 50)
+        assert fmt.frame_count(3001) == 4
+
+    def test_zero_bytes_is_one_frame(self):
+        fmt = FrameFormat(1000, 50)
+        assert fmt.frame_count(0) == 1
+
+    def test_frame_payloads_partition_message(self):
+        fmt = FrameFormat(1000, 50)
+        payloads = list(fmt.frame_payloads(2500))
+        assert payloads == [1000, 1000, 500]
+        assert sum(payloads) == 2500
+
+    def test_frame_payloads_zero(self):
+        fmt = FrameFormat(1000, 50)
+        assert list(fmt.frame_payloads(0)) == [0]
+
+    def test_wire_bytes_adds_overhead(self):
+        fmt = FrameFormat(1000, 50)
+        assert fmt.wire_bytes(1000) == 1050
+
+    def test_wire_bytes_respects_minimum(self):
+        fmt = FrameFormat(1000, 50, min_wire_bytes=84)
+        assert fmt.wire_bytes(0) == 84
+        assert fmt.wire_bytes(10) == 84
+        assert fmt.wire_bytes(100) == 150
+
+    def test_total_wire_bytes(self):
+        fmt = FrameFormat(1000, 50)
+        assert fmt.total_wire_bytes(2500) == 2500 + 3 * 50
+
+
+class TestAtmCells:
+    def test_empty_message_is_one_cell(self):
+        # The AAL5 trailer alone fits one cell.
+        assert cells_for(0) == 1
+
+    def test_trailer_forces_extra_cell(self):
+        # 48 bytes of payload + 8 trailer bytes -> 2 cells.
+        assert cells_for(48) == 2
+
+    def test_exact_fit(self):
+        # 40 bytes + 8 trailer = 48 -> exactly 1 cell.
+        assert cells_for(40) == 1
+
+    def test_large_message(self):
+        # 1 KB + trailer: ceil(1032/48) = 22 cells.
+        assert cells_for(1024) == 22
+
+    def test_cell_count_monotone(self):
+        counts = [cells_for(n) for n in range(0, 4096, 7)]
+        assert counts == sorted(counts)

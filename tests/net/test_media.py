@@ -1,0 +1,231 @@
+"""Unit tests for the concrete media models."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import AllnodeSwitch, AtmLan, AtmWan, Ethernet, FddiRing
+from repro.sim import Environment
+
+
+def run_transfer(network, src, dst, nbytes):
+    """Run a single transfer to completion; return (duration, env)."""
+    env = network.env
+    process = env.process(network.transfer(src, dst, nbytes))
+    duration = env.run(until=process)
+    return duration, env
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEndpointValidation:
+    @pytest.mark.parametrize("factory", [Ethernet, FddiRing, AtmLan, AtmWan, AllnodeSwitch])
+    def test_out_of_range_endpoint(self, env, factory):
+        network = factory(env, 4)
+        with pytest.raises(NetworkError):
+            list(network.transfer(0, 4, 100))
+        with pytest.raises(NetworkError):
+            list(network.transfer(-1, 1, 100))
+
+    @pytest.mark.parametrize("factory", [Ethernet, FddiRing, AtmLan, AtmWan, AllnodeSwitch])
+    def test_self_transfer_rejected(self, env, factory):
+        network = factory(env, 4)
+        with pytest.raises(NetworkError):
+            list(network.transfer(2, 2, 100))
+
+    def test_single_host_network_allowed_but_cannot_send(self, env):
+        network = Ethernet(env, 1)
+        with pytest.raises(NetworkError):
+            list(network.transfer(0, 0, 1))
+
+    def test_zero_host_network_rejected(self, env):
+        with pytest.raises(NetworkError):
+            Ethernet(env, 0)
+
+
+class TestEthernet:
+    def test_single_frame_time(self, env):
+        network = Ethernet(env, 2)
+        duration, _ = run_transfer(network, 0, 1, 1000)
+        # (1000 + 78) bytes at 10 Mb/s + propagation.
+        expected = 1078 * 8 / 10e6 + network.propagation_seconds
+        assert duration == pytest.approx(expected)
+
+    def test_multi_frame_time(self, env):
+        network = Ethernet(env, 2)
+        duration, _ = run_transfer(network, 0, 1, 4096)
+        wire = network.frame_format.total_wire_bytes(4096)
+        assert duration == pytest.approx(wire * 8 / 10e6 + network.propagation_seconds)
+
+    def test_zero_byte_message_is_min_frame(self, env):
+        network = Ethernet(env, 2)
+        duration, _ = run_transfer(network, 0, 1, 0)
+        assert duration == pytest.approx(84 * 8 / 10e6 + network.propagation_seconds)
+
+    def test_shared_medium_serializes_senders(self, env):
+        """Two simultaneous 8 KB sends take twice as long as one."""
+        network = Ethernet(env, 4)
+
+        solo_env = Environment()
+        solo = Ethernet(solo_env, 4)
+        solo_duration, _ = run_transfer(solo, 0, 1, 8192)
+
+        done = []
+
+        def sender(env, src, dst):
+            yield from network.transfer(src, dst, 8192)
+            done.append(env.now)
+
+        env.process(sender(env, 0, 1))
+        env.process(sender(env, 2, 3))
+        env.run()
+        assert max(done) == pytest.approx(2 * solo_duration, rel=0.02)
+
+    def test_interleaving_is_per_frame(self, env):
+        """Frames from concurrent messages interleave, so both finish
+        close together rather than strictly one after the other."""
+        network = Ethernet(env, 4)
+        done = []
+
+        def sender(env, src, dst):
+            yield from network.transfer(src, dst, 8192)
+            done.append(env.now)
+
+        env.process(sender(env, 0, 1))
+        env.process(sender(env, 2, 3))
+        env.run()
+        spread = max(done) - min(done)
+        frame_time = network.frame_seconds(1460)
+        assert spread <= 2 * frame_time
+
+    def test_stats_account_traffic(self, env):
+        network = Ethernet(env, 2)
+        run_transfer(network, 0, 1, 3000)
+        assert network.stats.messages == 1
+        assert network.stats.payload_bytes == 3000
+        assert network.stats.wire_bytes == network.frame_format.total_wire_bytes(3000)
+
+
+class TestFddi:
+    def test_faster_than_ethernet_for_bulk(self, env):
+        fddi = FddiRing(env, 2)
+        duration_fddi, _ = run_transfer(fddi, 0, 1, 65536)
+        eth = Ethernet(Environment(), 2)
+        duration_eth, _ = run_transfer(eth, 0, 1, 65536)
+        assert duration_fddi < duration_eth / 5
+
+    def test_token_serializes_ring(self):
+        env = Environment()
+        network = FddiRing(env, 4)
+        done = []
+
+        def sender(env, src, dst):
+            yield from network.transfer(src, dst, 65536)
+            done.append(env.now)
+
+        env.process(sender(env, 0, 1))
+        env.process(sender(env, 2, 3))
+        env.run()
+        solo_env = Environment()
+        solo = FddiRing(solo_env, 4)
+        solo_duration, _ = run_transfer(solo, 0, 1, 65536)
+        assert max(done) == pytest.approx(2 * solo_duration, rel=0.05)
+
+    def test_token_latency_charged_once_per_message(self, env):
+        network = FddiRing(env, 2)
+        duration, _ = run_transfer(network, 0, 1, 65536)
+        wire = network.frame_format.total_wire_bytes(65536)
+        expected = (
+            network.token_latency_seconds
+            + wire * 8 / network.rate_bps
+            + network.propagation_seconds
+        )
+        assert duration == pytest.approx(expected)
+
+
+class TestAtm:
+    def test_lan_cell_tax(self, env):
+        network = AtmLan(env, 2)
+        duration, _ = run_transfer(network, 0, 1, 4800)
+        # 4800 B + 8 trailer -> ceil(4808/48) = 101 cells of 53 B.
+        expected = (
+            101 * 53 * 8 / network.line_rate_bps
+            + network.switch_latency_seconds
+            + network.propagation_seconds
+        )
+        assert duration == pytest.approx(expected)
+
+    def test_dedicated_links_allow_parallel_transfers(self):
+        env = Environment()
+        network = AtmLan(env, 4)
+        done = []
+
+        def sender(env, src, dst):
+            yield from network.transfer(src, dst, 65536)
+            done.append(env.now)
+
+        env.process(sender(env, 0, 1))
+        env.process(sender(env, 2, 3))
+        env.run()
+        solo_env = Environment()
+        solo = AtmLan(solo_env, 4)
+        solo_duration, _ = run_transfer(solo, 0, 1, 65536)
+        # Disjoint pairs do not contend: both finish in ~solo time.
+        assert max(done) == pytest.approx(solo_duration, rel=0.01)
+
+    def test_same_destination_contends(self):
+        env = Environment()
+        network = AtmLan(env, 4)
+        done = []
+
+        def sender(env, src):
+            yield from network.transfer(src, 3, 65536)
+            done.append(env.now)
+
+        env.process(sender(env, 0))
+        env.process(sender(env, 1))
+        env.run()
+        solo_env = Environment()
+        solo = AtmLan(solo_env, 4)
+        solo_duration, _ = run_transfer(solo, 0, 3, 65536)
+        assert max(done) == pytest.approx(2 * solo_duration, rel=0.05)
+
+    def test_wan_close_to_lan_for_bulk(self):
+        """The paper's headline NYNET result: WAN ~ LAN for send/recv."""
+        lan_duration, _ = run_transfer(AtmLan(Environment(), 2), 0, 1, 65536)
+        wan_duration, _ = run_transfer(AtmWan(Environment(), 2), 0, 1, 65536)
+        assert wan_duration < 1.25 * lan_duration
+
+    def test_wan_latency_penalty_visible_for_tiny_messages(self):
+        lan_duration, _ = run_transfer(AtmLan(Environment(), 2), 0, 1, 0)
+        wan_duration, _ = run_transfer(AtmWan(Environment(), 2), 0, 1, 0)
+        assert wan_duration > lan_duration + 300e-6
+
+
+class TestAllnode:
+    def test_fastest_medium(self):
+        allnode_duration, _ = run_transfer(AllnodeSwitch(Environment(), 2), 0, 1, 65536)
+        for other in [Ethernet, FddiRing, AtmLan]:
+            other_duration, _ = run_transfer(other(Environment(), 2), 0, 1, 65536)
+            assert allnode_duration < other_duration
+
+    def test_low_latency(self):
+        duration, _ = run_transfer(AllnodeSwitch(Environment(), 2), 0, 1, 0)
+        assert duration < 100e-6
+
+    def test_parallel_disjoint_transfers(self):
+        env = Environment()
+        network = AllnodeSwitch(env, 4)
+        done = []
+
+        def sender(env, src, dst):
+            yield from network.transfer(src, dst, 65536)
+            done.append(env.now)
+
+        env.process(sender(env, 0, 1))
+        env.process(sender(env, 2, 3))
+        env.run()
+        solo_duration, _ = run_transfer(AllnodeSwitch(Environment(), 4), 0, 1, 65536)
+        assert max(done) == pytest.approx(solo_duration, rel=0.01)

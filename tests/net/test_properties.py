@@ -1,0 +1,109 @@
+"""Property-based tests for the network substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import AllnodeSwitch, AtmLan, AtmWan, Ethernet, FddiRing
+from repro.sim import Environment
+
+MEDIA = [Ethernet, FddiRing, AtmLan, AtmWan, AllnodeSwitch]
+
+sizes = st.integers(min_value=0, max_value=256 * 1024)
+
+
+class TestTransferProperties:
+    @pytest.mark.parametrize("factory", MEDIA)
+    @given(nbytes=sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_duration_positive_and_finite(self, factory, nbytes):
+        env = Environment()
+        network = factory(env, 2)
+        process = env.process(network.transfer(0, 1, nbytes))
+        duration = env.run(until=process)
+        assert 0 < duration < 60.0
+
+    @pytest.mark.parametrize("factory", MEDIA)
+    @given(a=sizes, b=sizes)
+    @settings(max_examples=25, deadline=None)
+    def test_duration_monotone_in_size(self, factory, a, b):
+        small, large = sorted((a, b))
+
+        def duration(nbytes):
+            env = Environment()
+            network = factory(env, 2)
+            process = env.process(network.transfer(0, 1, nbytes))
+            return env.run(until=process)
+
+        assert duration(small) <= duration(large) + 1e-12
+
+    @pytest.mark.parametrize("factory", MEDIA)
+    @given(nbytes=sizes)
+    @settings(max_examples=20, deadline=None)
+    def test_payload_accounting_conserved(self, factory, nbytes):
+        env = Environment()
+        network = factory(env, 2)
+        process = env.process(network.transfer(0, 1, nbytes))
+        env.run(until=process)
+        assert network.stats.payload_bytes == nbytes
+        assert network.stats.wire_bytes >= nbytes
+        assert network.stats.messages == 1
+
+    @pytest.mark.parametrize("factory", MEDIA)
+    @given(nbytes=st.integers(min_value=1, max_value=64 * 1024))
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, factory, nbytes):
+        def run():
+            env = Environment()
+            network = factory(env, 4)
+            process = env.process(network.transfer(0, 3, nbytes))
+            return env.run(until=process)
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("factory", MEDIA)
+    @given(
+        messages=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=1, max_value=32 * 1024),
+            ).filter(lambda m: m[0] != m[1]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_concurrent_transfers_all_complete(self, factory, messages):
+        env = Environment()
+        network = factory(env, 4)
+        done = []
+
+        def sender(env, src, dst, nbytes):
+            yield from network.transfer(src, dst, nbytes)
+            done.append((src, dst, nbytes))
+
+        for src, dst, nbytes in messages:
+            env.process(sender(env, src, dst, nbytes))
+        env.run()
+        assert len(done) == len(messages)
+        assert network.stats.payload_bytes == sum(m[2] for m in messages)
+
+    @given(nbytes=st.integers(min_value=1, max_value=64 * 1024))
+    @settings(max_examples=15, deadline=None)
+    def test_shared_ethernet_never_faster_than_solo(self, nbytes):
+        def run(concurrent):
+            env = Environment()
+            network = Ethernet(env, 4)
+            finish = []
+
+            def sender(env, src, dst):
+                yield from network.transfer(src, dst, nbytes)
+                finish.append(env.now)
+
+            env.process(sender(env, 0, 1))
+            if concurrent:
+                env.process(sender(env, 2, 3))
+            env.run()
+            return min(finish)
+
+        assert run(concurrent=True) >= run(concurrent=False) - 1e-12

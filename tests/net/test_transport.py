@@ -1,0 +1,74 @@
+"""Unit tests for the windowed TCP-like transport."""
+
+import pytest
+
+from repro.net import AtmLan, Ethernet, TcpTransport
+from repro.sim import Environment
+
+
+def run_transfer(transport, src, dst, nbytes):
+    env = transport.network.env
+    process = env.process(transport.transfer(src, dst, nbytes))
+    env.run(until=process)
+    return env.now
+
+
+class TestTcpTransport:
+    def test_window_must_be_positive(self):
+        network = Ethernet(Environment(), 2)
+        with pytest.raises(ValueError):
+            TcpTransport(network, window_bytes=0)
+
+    def test_single_window_no_stall(self):
+        env = Environment()
+        network = Ethernet(env, 2)
+        transport = TcpTransport(network, window_bytes=8192)
+        duration = run_transfer(transport, 0, 1, 4096)
+
+        raw_env = Environment()
+        raw = Ethernet(raw_env, 2)
+        process = raw_env.process(raw.transfer(0, 1, 4096))
+        raw_env.run(until=process)
+        assert duration == pytest.approx(raw_env.now)
+
+    def test_multi_window_adds_stalls(self):
+        env = Environment()
+        network = Ethernet(env, 2)
+        transport = TcpTransport(network, window_bytes=4096, ack_turnaround_seconds=1e-3)
+        duration_16k = run_transfer(transport, 0, 1, 16384)
+
+        env2 = Environment()
+        network2 = Ethernet(env2, 2)
+        transport_wide = TcpTransport(network2, window_bytes=65536)
+        duration_wide = run_transfer(transport_wide, 0, 1, 16384)
+
+        # 16 KB in 4 KB windows -> 3 internal stalls of >= 1 ms + acks.
+        assert duration_16k > duration_wide + 3e-3
+
+    def test_zero_bytes_still_crosses_wire(self):
+        env = Environment()
+        transport = TcpTransport(Ethernet(env, 2))
+        duration = run_transfer(transport, 0, 1, 0)
+        assert duration > 0
+
+    def test_last_window_needs_no_ack(self):
+        """Exactly one window -> no ack; one byte more -> acks appear."""
+        env = Environment()
+        network = Ethernet(env, 2)
+        transport = TcpTransport(network, window_bytes=4096)
+        run_transfer(transport, 0, 1, 4096)
+        assert network.stats.messages == 1  # no ack message
+
+        env2 = Environment()
+        network2 = Ethernet(env2, 2)
+        transport2 = TcpTransport(network2, window_bytes=4096)
+        process = env2.process(transport2.transfer(0, 1, 4097))
+        env2.run(until=process)
+        # Two data windows + one ack between them.
+        assert network2.stats.messages == 3
+
+    def test_works_over_atm(self):
+        env = Environment()
+        transport = TcpTransport(AtmLan(env, 2), window_bytes=8192)
+        duration = run_transfer(transport, 0, 1, 65536)
+        assert duration > 0

@@ -1,0 +1,115 @@
+"""Unit tests for repro.sim.kernel (Environment scheduling semantics)."""
+
+import pytest
+
+from repro.sim import Environment, Infinity
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_initial_time_default(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time_custom(self):
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_peek_empty(self, env):
+        assert env.peek() == Infinity
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == pytest.approx(2.0)
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(RuntimeError):
+            env.step()
+
+    def test_clock_never_goes_backwards(self, env):
+        times = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            times.append(env.now)
+
+        for delay in [5.0, 1.0, 3.0, 1.0, 0.0]:
+            env.process(proc(env, delay))
+        env.run()
+        assert times == sorted(times)
+
+
+class TestRunUntil:
+    def test_run_until_time(self, env):
+        env.process(_ticker(env, period=1.0, count=100))
+        env.run(until=5.5)
+        assert env.now == pytest.approx(5.5)
+
+    def test_run_until_time_in_past_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            return "result"
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "result"
+        assert env.now == pytest.approx(2.0)
+
+    def test_run_until_processed_event_returns_immediately(self, env):
+        timeout = env.timeout(1.0, value="v")
+        env.run()
+        assert env.run(until=timeout) == "v"
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        orphan = env.event()
+        env.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            env.run(until=orphan)
+
+    def test_run_to_exhaustion_returns_none(self, env):
+        env.timeout(1.0)
+        assert env.run() is None
+
+    def test_until_events_beyond_horizon_stay_queued(self, env):
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert fired == []
+        env.run()
+        assert fired == [10.0]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def workload(env, log):
+            def proc(env, name, delay):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            for i in range(20):
+                env.process(proc(env, "p%d" % i, (i * 7) % 5))
+
+        log_a, log_b = [], []
+        env_a, env_b = Environment(), Environment()
+        workload(env_a, log_a)
+        workload(env_b, log_b)
+        env_a.run()
+        env_b.run()
+        assert log_a == log_b
+
+
+def _ticker(env, period, count):
+    for _ in range(count):
+        yield env.timeout(period)

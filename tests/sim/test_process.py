@@ -1,0 +1,241 @@
+"""Unit tests for repro.sim.process."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            return 99
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == 99
+
+    def test_process_is_alive_until_done(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run(until=1.0)
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_processes_can_wait_on_each_other(self, env):
+        def child(env):
+            yield env.timeout(3.0)
+            return "child-result"
+
+        result = {}
+
+        def parent(env):
+            result["value"] = yield env.process(child(env))
+            result["time"] = env.now
+
+        env.process(parent(env))
+        env.run()
+        assert result == {"value": "child-result", "time": 3.0}
+
+    def test_yield_from_composition(self, env):
+        def inner(env):
+            yield env.timeout(1.0)
+            return 10
+
+        def outer(env):
+            a = yield from inner(env)
+            b = yield from inner(env)
+            return a + b
+
+        process = env.process(outer(env))
+        env.run()
+        assert process.value == 20
+        assert env.now == pytest.approx(2.0)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def proc(env):
+            yield 42
+
+        process = env.process(proc(env))
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+        assert process.triggered
+        assert not process.ok
+
+    def test_exception_in_process_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            raise KeyError("inside")
+
+        env.process(proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_exception_handled_by_waiting_parent(self, env):
+        def child(env):
+            yield env.timeout(1.0)
+            raise ValueError("child failed")
+
+        caught = []
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(parent(env))
+        env.run()
+        assert caught == ["child failed"]
+
+    def test_waiting_on_already_finished_process(self, env):
+        def child(env):
+            yield env.timeout(1.0)
+            return "early"
+
+        result = {}
+
+        def parent(env, child_proc):
+            yield env.timeout(5.0)
+            result["value"] = yield child_proc
+
+        child_proc = env.process(child(env))
+        env.process(parent(env, child_proc))
+        env.run()
+        assert result["value"] == "early"
+        assert env.now == pytest.approx(5.0)
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        caught = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                caught.append((env.now, interrupt.cause))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(2.0)
+            victim_proc.interrupt(cause="stop now")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run()
+        assert caught == [(2.0, "stop now")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                log.append((env.now, "interrupted"))
+            yield env.timeout(1.0)
+            log.append((env.now, "resumed"))
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1.0)
+            victim_proc.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        env.run(until=victim_proc)
+        assert log == [(1.0, "interrupted"), (2.0, "resumed")]
+        assert env.now == pytest.approx(2.0)
+
+    def test_interrupting_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(0.5)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        errors = []
+
+        def proc(env):
+            try:
+                env.active_process.interrupt()
+            except RuntimeError as exc:
+                errors.append(str(exc))
+            yield env.timeout(0.1)
+
+        env.process(proc(env))
+        env.run()
+        assert len(errors) == 1
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim(env):
+            yield env.timeout(100.0)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1.0)
+            victim_proc.interrupt(cause="boom")
+
+        victim_proc = env.process(victim(env))
+        env.process(attacker(env, victim_proc))
+        with pytest.raises(Interrupt):
+            env.run()
+        assert victim_proc.triggered
+
+    def test_interrupt_does_not_consume_target_event(self, env):
+        """The event the victim waited on still fires for other waiters."""
+        log = []
+
+        def victim(env, shared):
+            try:
+                yield shared
+            except Interrupt:
+                log.append("victim-interrupted")
+
+        def bystander(env, shared):
+            value = yield shared
+            log.append("bystander-%s" % value)
+
+        shared = env.event()
+        victim_proc = env.process(victim(env, shared))
+        env.process(bystander(env, shared))
+
+        def driver(env):
+            yield env.timeout(1.0)
+            victim_proc.interrupt()
+            yield env.timeout(1.0)
+            shared.succeed("fired")
+
+        env.process(driver(env))
+        env.run()
+        assert log == ["victim-interrupted", "bystander-fired"]
+
+
+class TestActiveProcess:
+    def test_active_process_outside_run_is_none(self, env):
+        assert env.active_process is None
+
+    def test_active_process_inside_run(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(0.1)
+
+        process = env.process(proc(env))
+        env.run()
+        assert seen == [process]

@@ -1,0 +1,259 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def proc(env):
+            with resource.request() as req:
+                yield req
+                log.append(env.now)
+
+        env.process(proc(env))
+        env.process(proc(env))
+        env.run()
+        assert log == [0.0, 0.0]
+
+    def test_exclusive_use_serializes(self, env):
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def proc(env, name):
+            with resource.request() as req:
+                yield req
+                log.append((env.now, name, "acquire"))
+                yield env.timeout(2.0)
+                log.append((env.now, name, "release"))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert log == [
+            (0.0, "a", "acquire"),
+            (2.0, "a", "release"),
+            (2.0, "b", "acquire"),
+            (4.0, "b", "release"),
+        ]
+
+    def test_fifo_fairness(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def proc(env, name, arrival):
+            yield env.timeout(arrival)
+            with resource.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10.0)
+
+        for index, name in enumerate("abcd"):
+            env.process(proc(env, name, index * 0.1))
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_count_and_queue_length(self, env):
+        resource = Resource(env, capacity=1)
+        snapshots = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def observer(env):
+            yield env.timeout(1.0)
+            snapshots.append((resource.count, resource.queue_length))
+
+        env.process(holder(env))
+        env.process(holder(env))
+        env.process(observer(env))
+        env.run()
+        assert snapshots == [(1, 1)]
+
+    def test_release_of_queued_request_cancels_it(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert resource.queue_length == 1
+        resource.release(second)  # still queued: cancel, don't corrupt users
+        assert resource.queue_length == 0
+        assert resource.count == 1
+        resource.release(first)
+        assert resource.count == 0
+
+    def test_context_manager_releases_on_exception(self, env):
+        resource = Resource(env, capacity=1)
+
+        def failing(env):
+            with resource.request() as req:
+                yield req
+                raise ValueError("die holding the resource")
+
+        def follower(env, log):
+            with resource.request() as req:
+                yield req
+                log.append(env.now)
+
+        log = []
+        env.process(failing(env))
+        env.process(follower(env, log))
+        with pytest.raises(ValueError):
+            env.run()
+        env.run()
+        assert log == [0.0]
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        result = {}
+
+        def proc(env):
+            store.put("item")
+            result["value"] = yield store.get()
+
+        env.process(proc(env))
+        env.run()
+        assert result["value"] == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        result = {}
+
+        def getter(env):
+            result["value"] = yield store.get()
+            result["time"] = env.now
+
+        def putter(env):
+            yield env.timeout(3.0)
+            store.put("late")
+
+        env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert result == {"value": "late", "time": 3.0}
+
+    def test_fifo_item_order(self, env):
+        store = Store(env)
+        received = []
+
+        def getter(env):
+            for _ in range(3):
+                received.append((yield store.get()))
+
+        for item in [1, 2, 3]:
+            store.put(item)
+        env.process(getter(env))
+        env.run()
+        assert received == [1, 2, 3]
+
+    def test_fifo_getter_order(self, env):
+        store = Store(env)
+        received = []
+
+        def getter(env, name, arrival):
+            yield env.timeout(arrival)
+            item = yield store.get()
+            received.append((name, item))
+
+        env.process(getter(env, "first", 0.0))
+        env.process(getter(env, "second", 0.5))
+
+        def putter(env):
+            yield env.timeout(1.0)
+            store.put("x")
+            store.put("y")
+
+        env.process(putter(env))
+        env.run()
+        assert received == [("first", "x"), ("second", "y")]
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+        assert store.items == ["a", "b"]
+
+
+class TestFilterStore:
+    def test_get_with_filter_skips_non_matching(self, env):
+        store = FilterStore(env)
+        result = {}
+
+        def proc(env):
+            result["value"] = yield store.get(lambda item: item % 2 == 0)
+
+        store.put(1)
+        store.put(3)
+        store.put(4)
+        env.process(proc(env))
+        env.run()
+        assert result["value"] == 4
+        assert store.items == [1, 3]
+
+    def test_filter_get_blocks_until_match(self, env):
+        store = FilterStore(env)
+        result = {}
+
+        def getter(env):
+            result["value"] = yield store.get(lambda item: item == "wanted")
+            result["time"] = env.now
+
+        def putter(env):
+            store.put("junk")
+            yield env.timeout(2.0)
+            store.put("wanted")
+
+        env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert result == {"value": "wanted", "time": 2.0}
+
+    def test_multiple_filters_satisfied_independently(self, env):
+        store = FilterStore(env)
+        results = {}
+
+        def getter(env, key, predicate):
+            results[key] = yield store.get(predicate)
+
+        env.process(getter(env, "even", lambda i: i % 2 == 0))
+        env.process(getter(env, "odd", lambda i: i % 2 == 1))
+
+        def putter(env):
+            yield env.timeout(1.0)
+            store.put(7)
+            yield env.timeout(1.0)
+            store.put(8)
+
+        env.process(putter(env))
+        env.run()
+        assert results == {"even": 8, "odd": 7}
+
+    def test_unfiltered_get_takes_oldest(self, env):
+        store = FilterStore(env)
+        store.put("old")
+        store.put("new")
+        result = {}
+
+        def proc(env):
+            result["value"] = yield store.get()
+
+        env.process(proc(env))
+        env.run()
+        assert result["value"] == "old"

@@ -1,0 +1,102 @@
+"""Unit tests for repro.sim.rng and repro.sim.trace."""
+
+from repro.sim import RandomStreams, Tracer, NullTracer, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_seed_is_nonnegative_63bit(self):
+        for name in ["x", "y", "ethernet.backoff"]:
+            seed = derive_seed(123, name)
+            assert 0 <= seed < 2 ** 63
+
+
+class TestRandomStreams:
+    def test_same_name_same_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("s") is streams.stream("s")
+
+    def test_reproducible_sequence(self):
+        a = RandomStreams(7).stream("s")
+        b = RandomStreams(7).stream("s")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(7)
+        first = streams.stream("one")
+        draws_before = [first.random() for _ in range(5)]
+
+        fresh = RandomStreams(7)
+        fresh.stream("two").random()  # interleave another stream
+        draws_after = [fresh.stream("one").random() for _ in range(5)]
+        assert draws_before == draws_after
+
+    def test_numpy_stream_reproducible(self):
+        a = RandomStreams(7).numpy_stream("np")
+        b = RandomStreams(7).numpy_stream("np")
+        assert list(a.random(8)) == list(b.random(8))
+
+    def test_seed_property(self):
+        assert RandomStreams(99).seed == 99
+
+
+class TestTracer:
+    def test_record_and_iterate(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", nbytes=100)
+        tracer.record(2.0, "recv", nbytes=100)
+        assert len(tracer) == 2
+        kinds = [record.kind for record in tracer]
+        assert kinds == ["send", "recv"]
+
+    def test_of_kind(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", nbytes=1)
+        tracer.record(2.0, "recv", nbytes=2)
+        tracer.record(3.0, "send", nbytes=3)
+        sends = tracer.of_kind("send")
+        assert [record["nbytes"] for record in sends] == [1, 3]
+
+    def test_total(self):
+        tracer = Tracer()
+        for nbytes in [10, 20, 30]:
+            tracer.record(0.0, "send", nbytes=nbytes)
+        assert tracer.total("send", "nbytes") == 60.0
+
+    def test_where(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", nbytes=10)
+        tracer.record(2.0, "send", nbytes=999)
+        big = tracer.where(lambda record: record["nbytes"] > 100)
+        assert len(big) == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0.0, "x")
+        assert len(tracer) == 0
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        tracer.record(0.0, "x")
+        assert len(tracer) == 0
+
+    def test_record_getitem(self):
+        tracer = Tracer()
+        tracer.record(5.0, "kind", field="value")
+        record = list(tracer)[0]
+        assert record["field"] == "value"
+        assert record.time == 5.0

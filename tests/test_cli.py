@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sun-ethernet" in out
+        assert "p4" in out
+        assert "table3" in out
+        assert "balanced" in out
+
+
+class TestUsability:
+    def test_prints_matrix(self, capsys):
+        assert main(["usability"]) == 0
+        out = capsys.readouterr().out
+        assert "Portability" in out
+        assert "WS" in out
+
+
+class TestExperiment:
+    def test_unknown_id_rejected(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_runs_static_experiments(self, capsys):
+        assert main(["experiment", "table1", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 artifacts" in out
+
+
+class TestEvaluate:
+    def test_unknown_profile_rejected(self, capsys):
+        assert main(["evaluate", "--profile", "nonsense"]) == 2
+
+    def test_unknown_platform_rejected(self, capsys):
+        assert main(["evaluate", "--platform", "cray-t3d"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_full_evaluation_runs(self, capsys):
+        assert main(["evaluate", "--platform", "sun-atm-lan", "--processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Best tool" in out
+
+
+class TestNoCommand:
+    def test_help_printed(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,138 @@
+"""Failure injection: crashes, lost peers, and stuck programs.
+
+Errors must never pass silently — a rank that dies takes the run down
+with its original exception; a program waiting on a peer that never
+sends is detectable as an unfinished process, not a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import MonteCarloIntegration
+from repro.errors import ApplicationError
+from repro.hardware import build_platform
+from repro.sim import Environment, Interrupt
+from repro.tools import create_tool
+
+
+def make_tool(tool_name="p4", processors=4, platform_name="sun-ethernet"):
+    platform = build_platform(platform_name, processors=processors)
+    return create_tool(tool_name, platform)
+
+
+class TestRankCrash:
+    @pytest.mark.parametrize("tool_name", ["p4", "pvm", "express"])
+    def test_crashing_rank_propagates_original_exception(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            yield from comm.barrier()
+            if comm.rank == 2:
+                raise RuntimeError("rank 2 segfaulted")
+            yield from comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2 segfaulted"):
+            tool.run_spmd(program, nprocs=4)
+
+    def test_crash_before_any_communication(self):
+        tool = make_tool()
+
+        def program(comm):
+            if comm.rank == 0:
+                raise ValueError("died on startup")
+            yield from comm.recv(src=0)
+
+        with pytest.raises(ValueError, match="died on startup"):
+            tool.run_spmd(program, nprocs=2)
+
+
+class TestLostPeer:
+    def test_receiver_with_no_sender_never_finishes(self):
+        """A recv from a rank that never sends leaves the process
+        alive when the event queue drains — diagnosable, not a hang."""
+        tool = make_tool()
+        comm = tool.communicator(0, size=2)
+
+        def waiter(comm):
+            yield from comm.recv(src=1)
+
+        process = tool.env.process(waiter(comm))
+        tool.env.run()  # drains without error
+        assert process.is_alive  # still blocked: the message never came
+
+    def test_interrupting_a_stuck_receiver(self):
+        """A supervisor can interrupt a blocked receive (the pattern a
+        timeout layer would use)."""
+        tool = make_tool()
+        comm = tool.communicator(0, size=2)
+        outcome = {}
+
+        def waiter(comm):
+            try:
+                yield from comm.recv(src=1)
+                outcome["result"] = "received"
+            except Interrupt as interrupt:
+                outcome["result"] = "timed out: %s" % interrupt.cause
+
+        def supervisor(env, victim):
+            yield env.timeout(5.0)
+            victim.interrupt(cause="deadline")
+
+        victim = tool.env.process(waiter(comm))
+        tool.env.process(supervisor(tool.env, victim))
+        tool.env.run()
+        assert outcome["result"] == "timed out: deadline"
+
+
+class TestVerificationCatchesBadResults:
+    def test_montecarlo_sample_count_mismatch(self):
+        app = MonteCarloIntegration(samples=10_000)
+        platform = build_platform("alpha-fddi", processors=2)
+        workload = app.make_workload(platform.rng)
+        bogus = [{"value": 3.14, "stderr": 0.001, "samples": 9_999}, None]
+        with pytest.raises(ApplicationError, match="sample count"):
+            app.verify(workload, bogus)
+
+    def test_montecarlo_wildly_wrong_estimate(self):
+        app = MonteCarloIntegration(samples=10_000)
+        platform = build_platform("alpha-fddi", processors=2)
+        workload = app.make_workload(platform.rng)
+        bogus = [{"value": 99.0, "stderr": 0.001, "samples": 10_000}, None]
+        with pytest.raises(ApplicationError, match="misses exact"):
+            app.verify(workload, bogus)
+
+
+class TestKernelFailureSemantics:
+    def test_failed_event_without_handler_raises_at_run(self):
+        env = Environment()
+        event = env.event()
+        event.fail(IOError("device lost"))
+        with pytest.raises(IOError):
+            env.run()
+
+    def test_failure_handled_by_one_of_two_waiters_still_raises_for_other(self):
+        env = Environment()
+        shared = env.event()
+        caught = []
+
+        def handler(env):
+            try:
+                yield shared
+            except IOError:
+                caught.append("handled")
+
+        def bystander(env):
+            yield shared
+
+        env.process(handler(env))
+        bystander_proc = env.process(bystander(env))
+
+        def failer(env):
+            yield env.timeout(1.0)
+            shared.fail(IOError("boom"))
+
+        env.process(failer(env))
+        with pytest.raises(IOError):
+            env.run()
+        assert caught == ["handled"]
+        assert bystander_proc.triggered and not bystander_proc.ok

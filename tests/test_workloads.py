@@ -1,0 +1,122 @@
+"""Tests for the shared workload generators and run accounting."""
+
+import numpy as np
+import pytest
+
+from repro.apps import JpegCompression, ParallelFft2d
+from repro.hardware import build_platform
+from repro.tools import create_tool
+from repro.workloads import (
+    complex_field,
+    dense_matrix,
+    gradient_noise_image,
+    integer_keys,
+    message_size_sweep,
+    processor_sweep,
+)
+
+
+class TestGenerators:
+    def test_image_shape_dtype_range(self):
+        image = gradient_noise_image(np.random.default_rng(1), 64, 48)
+        assert image.shape == (64, 48)
+        assert image.dtype == np.uint8
+        assert image.min() >= 0 and image.max() <= 255
+
+    def test_image_is_compressible_but_not_flat(self):
+        image = gradient_noise_image(np.random.default_rng(1), 128, 128)
+        assert image.std() > 10.0  # real structure
+        # Low-frequency energy dominates: block means vary strongly.
+        blocks = image[:128, :128].reshape(16, 8, 16, 8).mean(axis=(1, 3))
+        assert blocks.std() > 5.0
+
+    def test_image_deterministic_per_stream(self):
+        a = gradient_noise_image(np.random.default_rng(7), 32, 32)
+        b = gradient_noise_image(np.random.default_rng(7), 32, 32)
+        assert np.array_equal(a, b)
+
+    def test_image_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            gradient_noise_image(np.random.default_rng(0), 0, 10)
+
+    def test_integer_keys_range(self):
+        keys = integer_keys(np.random.default_rng(2), 1000)
+        assert keys.dtype == np.int64
+        assert keys.min() >= 0
+        assert keys.max() < 2 ** 31
+
+    def test_integer_keys_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            integer_keys(np.random.default_rng(2), -1)
+
+    def test_complex_field(self):
+        field = complex_field(np.random.default_rng(3), 8, 16)
+        assert field.shape == (8, 16)
+        assert field.dtype == np.complex128
+
+    def test_dense_matrix(self):
+        matrix = dense_matrix(np.random.default_rng(4), 5, 7)
+        assert matrix.shape == (5, 7)
+
+
+class TestSweeps:
+    def test_message_size_sweep_doubles(self):
+        assert message_size_sweep(8) == [1024, 2048, 4096, 8192]
+
+    def test_message_size_sweep_validates(self):
+        with pytest.raises(ValueError):
+            message_size_sweep(0)
+
+    def test_processor_sweep(self):
+        assert processor_sweep(8) == [1, 2, 4, 8]
+        assert processor_sweep(6) == [1, 2, 4]
+
+    def test_processor_sweep_validates(self):
+        with pytest.raises(ValueError):
+            processor_sweep(0)
+
+
+class TestRunAccounting:
+    def test_jpeg_communication_volume_matches_data_flow(self):
+        """Distribution moves (P-1)/P of the image; collection moves
+        the workers' compressed streams; nothing else moves payload."""
+        app = JpegCompression(height=128, width=128)
+        platform = build_platform("alpha-fddi", processors=4)
+        tool = create_tool("p4", platform)
+        run = app.run(tool, processors=4)
+
+        image_bytes = 128 * 128
+        distributed = image_bytes * 3 // 4
+        collected = sum(
+            piece[1] for piece in run.output["pieces"][1:]
+        )
+        expected = distributed + collected
+        assert run.stats["network_payload_bytes"] == expected
+
+    def test_fft_moves_only_the_transpose(self):
+        """With distributed start/end, the only bulk phase is the
+        all-to-all transpose: (P-1)/P of the field crosses the wire."""
+        size = 64
+        app = ParallelFft2d(size=size)
+        platform = build_platform("alpha-fddi", processors=4)
+        tool = create_tool("p4", platform)
+        run = app.run(tool, processors=4)
+
+        field_bytes = size * size * 16  # complex128
+        expected = field_bytes * 3 // 4
+        assert run.stats["network_payload_bytes"] == expected
+
+    def test_wire_bytes_exceed_payload(self):
+        app = ParallelFft2d(size=32)
+        platform = build_platform("sun-ethernet", processors=2)
+        tool = create_tool("p4", platform)
+        run = app.run(tool, processors=2)
+        assert run.stats["network_wire_bytes"] > run.stats["network_payload_bytes"]
+
+    def test_single_processor_run_moves_nothing(self):
+        app = ParallelFft2d(size=32)
+        platform = build_platform("sun-ethernet", processors=2)
+        tool = create_tool("p4", platform)
+        run = app.run(tool, processors=1)
+        assert run.stats["network_payload_bytes"] == 0
+        assert run.stats["network_messages"] == 0

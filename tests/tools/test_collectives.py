@@ -1,0 +1,119 @@
+"""Unit and property tests for the collective algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ToolError
+from repro.hardware import build_platform
+from repro.tools import create_tool
+from repro.tools.collectives import binomial_broadcast, binomial_reduce, linear_reduce
+
+
+def make_comms(tool_name="p4", processors=4, platform_name="sp1-switch"):
+    platform = build_platform(platform_name, processors=processors)
+    tool = create_tool(tool_name, platform)
+    return tool
+
+
+class TestBinomialBroadcastShapes:
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_every_rank_receives(self, size, root):
+        tool = make_comms(processors=max(size, 2))
+        root = root % size
+
+        def program(comm):
+            payload = "data" if comm.rank == root else None
+            result = yield from binomial_broadcast(comm, root, payload, 100, "t")
+            return result
+
+        results = tool.run_spmd(program, nprocs=size)
+        assert results == ["data"] * size
+
+    def test_message_count_is_size_minus_one(self):
+        """A broadcast tree sends exactly N-1 messages."""
+        size = 8
+        tool = make_comms(processors=size)
+
+        def program(comm):
+            payload = b"x" * 64 if comm.rank == 0 else None
+            yield from binomial_broadcast(comm, 0, payload, 64, "t")
+
+        tool.run_spmd(program, nprocs=size)
+        assert tool.platform.network.stats.messages == size - 1
+
+    def test_tree_depth_beats_sequential_latency(self):
+        """8 ranks: tree depth 3 < 7 sequential root sends."""
+        from repro.core.measurements import measure_broadcast
+        from repro.tools.profiles import P4_PROFILE
+
+        tree = measure_broadcast("p4", "sp1-switch", 0, processors=8)
+        flat = measure_broadcast(
+            "p4", "sp1-switch", 0, processors=8,
+            profile=P4_PROFILE.replace(broadcast_algorithm="sequential"),
+        )
+        assert tree < flat
+
+
+class TestReduceAlgorithms:
+    @pytest.mark.parametrize("algorithm", [binomial_reduce, linear_reduce])
+    @pytest.mark.parametrize("size", [2, 3, 4, 6, 8])
+    def test_sum_lands_on_root(self, algorithm, size):
+        tool = make_comms(processors=max(size, 2))
+
+        def program(comm):
+            local = np.full(5, comm.rank + 1, dtype=np.int64)
+            result = yield from algorithm(comm, 0, local, "t")
+            return None if result is None else result.tolist()
+
+        results = tool.run_spmd(program, nprocs=size)
+        expected = [sum(range(1, size + 1))] * 5
+        assert results[0] == expected
+        assert all(result is None for result in results[1:])
+
+    def test_shape_mismatch_detected(self):
+        tool = make_comms(processors=2)
+
+        def program(comm):
+            local = np.ones(3 if comm.rank == 0 else 4)
+            try:
+                yield from binomial_reduce(comm, 0, local, "t")
+            except ToolError:
+                return "caught"
+            return "missed"
+
+        results = tool.run_spmd(program, nprocs=2)
+        assert "caught" in results
+
+
+class TestBroadcastProperty:
+    @given(
+        size=st.integers(min_value=2, max_value=8),
+        root=st.integers(min_value=0, max_value=7),
+        value=st.integers(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_broadcast_delivers_value_everywhere(self, size, root, value):
+        root = root % size
+        tool = make_comms(processors=size)
+
+        def program(comm):
+            payload = value if comm.rank == root else None
+            result = yield from comm.broadcast(root, payload=payload)
+            return result
+
+        results = tool.run_spmd(program, nprocs=size)
+        assert results == [value] * size
+
+    @given(size=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_global_sum_equals_arithmetic_series(self, size):
+        tool = make_comms(processors=size)
+
+        def program(comm):
+            total = yield from comm.global_sum(np.array([comm.rank], dtype=np.int64))
+            return int(total[0])
+
+        results = tool.run_spmd(program, nprocs=size)
+        assert results == [size * (size - 1) // 2] * size

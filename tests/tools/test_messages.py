@@ -1,0 +1,64 @@
+"""Unit tests for message envelopes and payload sizing."""
+
+import numpy as np
+import pytest
+
+from repro.tools import Message, sizeof
+
+
+class TestSizeof:
+    def test_none_is_empty(self):
+        assert sizeof(None) == 0
+
+    def test_bytes(self):
+        assert sizeof(b"12345") == 5
+
+    def test_bytearray(self):
+        assert sizeof(bytearray(7)) == 7
+
+    def test_int_is_c_int(self):
+        assert sizeof(42) == 4
+
+    def test_float_is_c_double(self):
+        assert sizeof(3.14) == 8
+
+    def test_bool_counts_as_int(self):
+        assert sizeof(True) == 4
+
+    def test_str_utf8(self):
+        assert sizeof("abc") == 3
+
+    def test_numpy_array(self):
+        assert sizeof(np.zeros(10, dtype=np.float64)) == 80
+        assert sizeof(np.zeros((4, 4), dtype=np.int32)) == 64
+
+    def test_list_of_ints(self):
+        assert sizeof([1, 2, 3]) == 12
+
+    def test_nested_structures(self):
+        assert sizeof([(1, 2.0), "ab"]) == 4 + 8 + 2
+
+    def test_dict(self):
+        assert sizeof({1: 2.0}) == 12
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            sizeof(object())
+
+
+class TestMessage:
+    def test_matches_exact(self):
+        msg = Message(src=1, dst=2, tag="t", nbytes=10)
+        assert msg.matches(1, "t")
+        assert not msg.matches(0, "t")
+        assert not msg.matches(1, "other")
+
+    def test_matches_wildcards(self):
+        msg = Message(src=1, dst=2, tag="t", nbytes=10)
+        assert msg.matches(None, None)
+        assert msg.matches(None, "t")
+        assert msg.matches(1, None)
+
+    def test_repr(self):
+        msg = Message(src=0, dst=3, tag=7, nbytes=128)
+        assert "0->3" in repr(msg)

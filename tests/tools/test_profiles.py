@@ -1,0 +1,99 @@
+"""Unit tests for tool cost profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tools import (
+    EXPRESS_PROFILE,
+    MPI_PROFILE,
+    P4_PROFILE,
+    PVM_PROFILE,
+    ToolProfile,
+)
+
+
+class TestProfileValidation:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ToolProfile(
+                name="x",
+                display_name="x",
+                transport="carrier-pigeon",
+                send_fixed=0,
+                recv_fixed=0,
+                pack_per_byte=0,
+                unpack_per_byte=0,
+                broadcast_algorithm="binomial",
+            )
+
+    def test_unknown_broadcast_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ToolProfile(
+                name="x",
+                display_name="x",
+                transport="tcp",
+                send_fixed=0,
+                recv_fixed=0,
+                pack_per_byte=0,
+                unpack_per_byte=0,
+                broadcast_algorithm="smoke-signals",
+            )
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ToolProfile(
+                name="x",
+                display_name="x",
+                transport="tcp",
+                send_fixed=-1e-3,
+                recv_fixed=0,
+                pack_per_byte=0,
+                unpack_per_byte=0,
+                broadcast_algorithm="binomial",
+            )
+
+
+class TestPaperProfiles:
+    def test_pvm_has_no_reduce(self):
+        """Table 1: PVM global sum is 'Not Available'."""
+        assert not PVM_PROFILE.supports_reduce
+
+    def test_p4_and_express_have_reduce(self):
+        assert P4_PROFILE.supports_reduce
+        assert EXPRESS_PROFILE.supports_reduce
+
+    def test_transports_match_structure(self):
+        assert P4_PROFILE.transport == "tcp"
+        assert PVM_PROFILE.transport == "daemon"
+        assert EXPRESS_PROFILE.transport == "stop-and-wait"
+
+    def test_broadcast_algorithms_match_structure(self):
+        assert P4_PROFILE.broadcast_algorithm == "binomial"
+        assert PVM_PROFILE.broadcast_algorithm == "daemon-sequential"
+        assert EXPRESS_PROFILE.broadcast_algorithm == "sequential"
+
+    def test_p4_is_leanest(self):
+        """p4's per-message and per-byte costs undercut the others."""
+        for other in (PVM_PROFILE, EXPRESS_PROFILE, MPI_PROFILE):
+            assert P4_PROFILE.send_fixed <= other.send_fixed
+            assert P4_PROFILE.pack_per_byte <= other.pack_per_byte
+
+    def test_express_copies_cost_most_per_byte(self):
+        assert EXPRESS_PROFILE.pack_per_byte > P4_PROFILE.pack_per_byte
+        assert EXPRESS_PROFILE.pack_per_byte > PVM_PROFILE.pack_per_byte
+
+
+class TestReplace:
+    def test_replace_overrides_field(self):
+        modified = PVM_PROFILE.replace(daemon_ack_stall=0.0)
+        assert modified.daemon_ack_stall == 0.0
+        assert modified.send_fixed == PVM_PROFILE.send_fixed
+
+    def test_replace_leaves_original_untouched(self):
+        before = PVM_PROFILE.daemon_ack_stall
+        PVM_PROFILE.replace(daemon_ack_stall=99.0)
+        assert PVM_PROFILE.daemon_ack_stall == before
+
+    def test_replace_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P4_PROFILE.replace(warp_speed=9)

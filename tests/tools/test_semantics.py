@@ -1,0 +1,292 @@
+"""Functional semantics of the tool runtimes (correct delivery,
+blocking behaviour, selective receive) independent of calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ToolError, UnsupportedOperationError
+from repro.hardware import build_platform
+from repro.tools import TOOL_NAMES, create_tool
+
+ALL_TOOLS = list(TOOL_NAMES)
+PAPER_TOOLS = ["express", "p4", "pvm"]
+
+
+def make_tool(tool_name, platform_name="sun-ethernet", processors=4):
+    platform = build_platform(platform_name, processors=processors)
+    return create_tool(tool_name, platform)
+
+
+@pytest.mark.parametrize("tool_name", ALL_TOOLS)
+class TestPointToPoint:
+    def test_payload_round_trip(self, tool_name):
+        tool = make_tool(tool_name)
+        data = np.arange(100, dtype=np.int32)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload=data)
+                return None
+            if comm.rank == 1:
+                msg = yield from comm.recv(src=0)
+                return msg.payload
+            return None
+
+        results = tool.run_spmd(program, nprocs=2)
+        assert np.array_equal(results[1], data)
+
+    def test_echo_advances_clock(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=1024)
+                yield from comm.recv(src=1)
+            else:
+                yield from comm.recv(src=0)
+                yield from comm.send(0, nbytes=1024)
+
+        tool.run_spmd(program, nprocs=2)
+        assert tool.env.now > 0
+
+    def test_message_order_preserved_per_pair(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            if comm.rank == 0:
+                for index in range(5):
+                    yield from comm.send(1, payload=index, tag="seq")
+                return None
+            received = []
+            for _ in range(5):
+                msg = yield from comm.recv(src=0, tag="seq")
+                received.append(msg.payload)
+            return received
+
+        results = tool.run_spmd(program, nprocs=2)
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_selective_receive_by_tag(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, payload="first", tag="a")
+                yield from comm.send(1, payload="second", tag="b")
+                return None
+            msg_b = yield from comm.recv(src=0, tag="b")
+            msg_a = yield from comm.recv(src=0, tag="a")
+            return (msg_b.payload, msg_a.payload)
+
+        results = tool.run_spmd(program, nprocs=2)
+        assert results[1] == ("second", "first")
+
+    def test_wildcard_receive(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            if comm.rank == 0:
+                received = set()
+                for _ in range(2):
+                    msg = yield from comm.recv()
+                    received.add(msg.src)
+                return received
+            yield from comm.send(0, nbytes=8, tag=comm.rank)
+            return None
+
+        results = tool.run_spmd(program, nprocs=3)
+        assert results[0] == {1, 2}
+
+    def test_self_send_rejected(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            if comm.rank == 0:
+                with pytest.raises(ToolError):
+                    yield from comm.send(0, nbytes=1)
+            yield from comm.barrier()
+
+        tool.run_spmd(program, nprocs=2)
+
+    def test_out_of_range_peer_rejected(self, tool_name):
+        tool = make_tool(tool_name)
+
+        def program(comm):
+            with pytest.raises(ToolError):
+                yield from comm.send(99, nbytes=1)
+            yield from comm.barrier()
+
+        tool.run_spmd(program, nprocs=2)
+
+
+@pytest.mark.parametrize("tool_name", ALL_TOOLS)
+class TestCollectives:
+    def test_broadcast_reaches_all(self, tool_name):
+        tool = make_tool(tool_name, processors=7)
+        data = np.arange(50, dtype=np.float64)
+
+        def program(comm):
+            result = yield from comm.broadcast(0, payload=data if comm.rank == 0 else None)
+            return result
+
+        results = tool.run_spmd(program, nprocs=7)
+        for result in results:
+            assert np.array_equal(result, data)
+
+    def test_broadcast_from_nonzero_root(self, tool_name):
+        tool = make_tool(tool_name, processors=5)
+
+        def program(comm):
+            payload = "from-root" if comm.rank == 3 else None
+            result = yield from comm.broadcast(3, payload=payload)
+            return result
+
+        results = tool.run_spmd(program, nprocs=5)
+        assert results == ["from-root"] * 5
+
+    def test_successive_broadcasts_do_not_cross(self, tool_name):
+        tool = make_tool(tool_name, processors=4)
+
+        def program(comm):
+            first = yield from comm.broadcast(0, payload="one" if comm.rank == 0 else None)
+            second = yield from comm.broadcast(0, payload="two" if comm.rank == 0 else None)
+            return (first, second)
+
+        results = tool.run_spmd(program, nprocs=4)
+        assert all(result == ("one", "two") for result in results)
+
+    def test_barrier_synchronizes(self, tool_name):
+        tool = make_tool(tool_name, processors=4)
+        env = tool.env
+
+        def program(comm):
+            # Stagger arrivals; nobody may pass before the last arrival.
+            yield env.timeout(comm.rank * 1.0)
+            arrived = env.now
+            yield from comm.barrier()
+            return (arrived, env.now)
+
+        results = tool.run_spmd(program, nprocs=4)
+        last_arrival = max(arrived for arrived, _ in results)
+        for _, released in results:
+            assert released >= last_arrival
+
+    def test_ring_shift_moves_payload_left_to_right(self, tool_name):
+        tool = make_tool(tool_name, processors=4)
+
+        def program(comm):
+            msg = yield from comm.ring_shift(payload=comm.rank)
+            return msg.payload
+
+        results = tool.run_spmd(program, nprocs=4)
+        # Each rank receives its left neighbour's rank.
+        assert results == [3, 0, 1, 2]
+
+    def test_ring_needs_two_ranks(self, tool_name):
+        tool = make_tool(tool_name, processors=2)
+
+        def program(comm):
+            with pytest.raises(ToolError):
+                yield from comm.ring_shift(payload=1)
+            if False:
+                yield  # pragma: no cover
+
+        tool.run_spmd(program, nprocs=1)
+
+
+class TestGlobalSum:
+    @pytest.mark.parametrize("tool_name", ["p4", "express", "mpi"])
+    def test_global_sum_correct(self, tool_name):
+        tool = make_tool(tool_name, processors=4)
+
+        def program(comm):
+            local = np.full(10, comm.rank + 1, dtype=np.int64)
+            total = yield from comm.global_sum(local)
+            return total
+
+        results = tool.run_spmd(program, nprocs=4)
+        expected = np.full(10, 1 + 2 + 3 + 4, dtype=np.int64)
+        for result in results:
+            assert np.array_equal(result, expected)
+
+    def test_pvm_global_sum_unavailable(self):
+        """Table 1: PVM has no global operation."""
+        tool = make_tool("pvm", processors=2)
+
+        def program(comm):
+            with pytest.raises(UnsupportedOperationError):
+                yield from comm.global_sum(np.ones(4))
+            yield from comm.barrier()
+
+        tool.run_spmd(program, nprocs=2)
+
+    @pytest.mark.parametrize("tool_name", ["p4", "express"])
+    def test_global_sum_scalar_like_vector(self, tool_name):
+        tool = make_tool(tool_name, processors=3)
+
+        def program(comm):
+            total = yield from comm.global_sum(np.array([float(comm.rank)]))
+            return float(total[0])
+
+        results = tool.run_spmd(program, nprocs=3)
+        assert results == [3.0, 3.0, 3.0]
+
+
+class TestBlockingSemantics:
+    def test_pvm_send_returns_before_delivery(self):
+        """pvm_send hands off to the daemon and returns; the wire time
+        of a large message is NOT seen by the sender."""
+        tool = make_tool("pvm")
+        env = tool.env
+        sender_done = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=65536)
+                sender_done["at"] = env.now
+            else:
+                msg = yield from comm.recv(src=0)
+                sender_done["arrived"] = msg.arrived_at
+
+        tool.run_spmd(program, nprocs=2)
+        assert sender_done["at"] < sender_done["arrived"]
+
+    @pytest.mark.parametrize("tool_name", ["p4", "express"])
+    def test_direct_tools_block_until_delivery(self, tool_name):
+        tool = make_tool(tool_name)
+        env = tool.env
+        times = {}
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=65536)
+                times["sender_done"] = env.now
+            else:
+                msg = yield from comm.recv(src=0)
+                times["arrived"] = msg.arrived_at
+
+        tool.run_spmd(program, nprocs=2)
+        assert times["sender_done"] >= times["arrived"]
+
+
+class TestLaunch:
+    def test_run_spmd_returns_rank_results(self):
+        tool = make_tool("p4")
+
+        def program(comm):
+            yield from comm.barrier()
+            return comm.rank * 10
+
+        assert tool.run_spmd(program, nprocs=4) == [0, 10, 20, 30]
+
+    def test_launch_too_many_processes_rejected(self):
+        from repro.errors import ConfigurationError
+
+        tool = make_tool("p4", processors=2)
+        with pytest.raises(ConfigurationError):
+            tool.launch(lambda comm: iter(()), nprocs=3)
+
+    def test_communicator_rank_validation(self):
+        tool = make_tool("p4", processors=2)
+        with pytest.raises(ToolError):
+            tool.communicator(5, size=2)

@@ -1,0 +1,103 @@
+"""Timing-level semantics of the tool runtimes: the structural
+behaviours DESIGN.md attributes to each tool, tested directly."""
+
+import pytest
+
+from repro.core.measurements import (
+    measure_barrier,
+    measure_broadcast,
+    measure_ring,
+    measure_sendrecv,
+)
+from repro.tools.profiles import EXPRESS_PROFILE, P4_PROFILE, PVM_PROFILE
+
+
+class TestSendRecvStructure:
+    def test_p4_fastest_on_every_network(self):
+        for platform in ("sun-ethernet", "sun-atm-lan", "alpha-fddi", "sp1-switch"):
+            p4 = measure_sendrecv("p4", platform, 16384)
+            pvm = measure_sendrecv("pvm", platform, 16384)
+            express = measure_sendrecv("express", platform, 16384)
+            assert p4 < pvm and p4 < express, platform
+
+    def test_cost_grows_with_size(self):
+        times = [
+            measure_sendrecv("p4", "sun-ethernet", kb * 1024) for kb in (0, 4, 16, 64)
+        ]
+        assert times == sorted(times)
+
+    def test_faster_nodes_lower_software_overhead(self):
+        """0-byte echo is pure software+latency: Alpha (fast CPU, fast
+        network) must beat the SPARC/Ethernet combination."""
+        alpha = measure_sendrecv("p4", "alpha-fddi", 0)
+        sparc = measure_sendrecv("p4", "sun-ethernet", 0)
+        assert alpha < sparc
+
+    def test_express_pvm_crossover_on_atm(self):
+        """Paper: Express beats PVM below ~1KB on ATM, loses at bulk."""
+        small_express = measure_sendrecv("express", "sun-atm-lan", 512)
+        small_pvm = measure_sendrecv("pvm", "sun-atm-lan", 512)
+        bulk_express = measure_sendrecv("express", "sun-atm-lan", 65536)
+        bulk_pvm = measure_sendrecv("pvm", "sun-atm-lan", 65536)
+        assert small_express < small_pvm
+        assert bulk_express > bulk_pvm
+
+
+class TestCollectiveStructure:
+    def test_broadcast_ordering_ethernet(self):
+        p4 = measure_broadcast("p4", "sun-ethernet", 65536)
+        pvm = measure_broadcast("pvm", "sun-ethernet", 65536)
+        express = measure_broadcast("express", "sun-ethernet", 65536)
+        assert p4 < pvm < express
+
+    def test_ring_inversion_ethernet(self):
+        """Express overtakes PVM under bidirectional load (Fig 3)."""
+        p4 = measure_ring("p4", "sun-ethernet", 65536)
+        pvm = measure_ring("pvm", "sun-ethernet", 65536)
+        express = measure_ring("express", "sun-ethernet", 65536)
+        assert p4 < express < pvm
+
+    def test_ring_no_inversion_on_switched_network(self):
+        """The inversion is a shared-medium congestion effect: on the
+        contention-free ATM LAN PVM stays ahead of Express."""
+        pvm = measure_ring("pvm", "sun-atm-lan", 65536)
+        express = measure_ring("express", "sun-atm-lan", 65536)
+        assert pvm < express
+
+    def test_barrier_scales_modestly(self):
+        two = measure_barrier("p4", "sun-atm-lan", processors=2)
+        eight = measure_barrier("p4", "sun-atm-lan", processors=8)
+        assert two < eight < two * 8
+
+
+class TestProfileAblationHooks:
+    def test_pvm_without_daemons_approaches_p4(self):
+        direct = PVM_PROFILE.replace(
+            daemon_ipc_fixed=0.0,
+            daemon_ipc_per_byte=0.0,
+            daemon_copy_per_byte=0.0,
+            daemon_ack_stall=0.0,
+            daemon_retransmit_stall=0.0,
+        )
+        stock = measure_sendrecv("pvm", "sun-atm-lan", 65536)
+        routed = measure_sendrecv("pvm", "sun-atm-lan", 65536, profile=direct)
+        p4 = measure_sendrecv("p4", "sun-atm-lan", 65536)
+        assert routed < stock
+        assert routed < p4 * 1.6  # most of the gap was the daemon path
+
+    def test_express_without_handshake_much_faster(self):
+        quick = EXPRESS_PROFILE.replace(handshake_seconds=0.0, fragment_bytes=8192)
+        stock = measure_sendrecv("express", "sun-ethernet", 65536)
+        stripped = measure_sendrecv("express", "sun-ethernet", 65536, profile=quick)
+        assert stripped < stock * 0.75
+
+    def test_p4_window_effect_is_ethernet_specific(self):
+        wide = P4_PROFILE.replace(tcp_window_bytes=1 << 20)
+        eth_stock = measure_sendrecv("p4", "sun-ethernet", 65536)
+        eth_wide = measure_sendrecv("p4", "sun-ethernet", 65536, profile=wide)
+        assert eth_wide < eth_stock
+
+    def test_seed_reproducibility(self):
+        a = measure_sendrecv("pvm", "sun-ethernet", 32768, seed=7)
+        b = measure_sendrecv("pvm", "sun-ethernet", 32768, seed=7)
+        assert a == b
