@@ -1,0 +1,63 @@
+"""Bench API: scheduler overhead vs. the direct evaluator path.
+
+The plan API adds spec expansion, cache bookkeeping and result
+reconstruction around the same simulations.  This benchmark records
+three timings on one tiny configuration:
+
+* the classic ``Evaluator.run()`` shim (cold: simulates everything),
+* a cold ``Scheduler.run(spec)`` (should cost the same), and
+* a warm ``Scheduler.run(spec)`` re-run (pure overhead: zero
+  simulations, so this *is* the scheduling layer's price).
+
+The assertion is deliberately loose — the warm path must be at least
+5x faster than the cold path, i.e. overhead is small change next to
+simulation time.
+"""
+
+import time
+
+from repro.core.evaluation import Evaluator
+from repro.core.scheduler import Scheduler
+from repro.core.spec import EvaluationSpec
+
+_TINY = dict(
+    tpl_sizes=(1024,),
+    global_sum_ints=2_000,
+    apps=("montecarlo",),
+    app_params={"montecarlo": {"samples": 5_000}},
+)
+
+
+def _timed(func):
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+def test_scheduler_overhead(benchmark):
+    from conftest import run_once
+
+    _, direct_s = _timed(lambda: Evaluator("sun-ethernet", **_TINY).run())
+
+    spec = EvaluationSpec(**_TINY)
+    scheduler = Scheduler()
+    _, cold_s = _timed(lambda: scheduler.run(spec))
+    # The benchmarked quantity: a fully cached re-run of the spec.
+    warm = run_once(benchmark, lambda: _timed(lambda: scheduler.run(spec)))
+    warm_s = warm[1]
+
+    print()
+    print("direct Evaluator.run (cold): %8.1f ms" % (direct_s * 1e3))
+    print("Scheduler.run        (cold): %8.1f ms" % (cold_s * 1e3))
+    print("Scheduler.run        (warm): %8.1f ms  <- scheduling overhead" % (warm_s * 1e3))
+
+    assert scheduler.simulations_run == spec.job_count()
+    assert warm_s < cold_s / 5.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

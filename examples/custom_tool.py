@@ -10,7 +10,7 @@ against the paper's three.
 
 from repro.core import USABILITY_MATRIX, PS, WS, NS, evaluate_tools
 from repro.tools import P4Tool, ToolProfile
-from repro.tools.registry import TOOL_CLASSES
+from repro.tools.registry import register_tool
 
 #: A hypothetical research tool: leaner than p4 per byte, but with a
 #: primitive broadcast and no reduction support.
@@ -37,7 +37,7 @@ class ZeroCopyTool(P4Tool):
 
 def register() -> None:
     """Register the runtime and its usability assessment."""
-    TOOL_CLASSES["zerocopy"] = ZeroCopyTool
+    register_tool("zerocopy", ZeroCopyTool)
     assessment = {
         "programming-models": PS,   # message passing only
         "language-interface": PS,   # C only

@@ -1,4 +1,10 @@
-"""Run experiments by id and print their reports."""
+"""Run experiments by id — and evaluation sweeps by spec.
+
+The paper experiments (tables/figures) are fixed artifacts addressed
+by id; :func:`run_evaluation` is the open-ended counterpart, driving
+an arbitrary :class:`~repro.core.spec.EvaluationSpec` through the
+scheduler with an optional worker pool and shared cache.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +13,12 @@ from typing import Iterable, List, Optional
 from repro.bench.experiments import EXPERIMENTS, ExperimentResult
 from repro.errors import ConfigurationError
 
-__all__ = ["available_experiments", "run_experiment", "run_experiments"]
+__all__ = [
+    "available_experiments",
+    "run_experiment",
+    "run_experiments",
+    "run_evaluation",
+]
 
 
 def available_experiments() -> List[str]:
@@ -41,3 +52,31 @@ def run_experiments(
             print()
         results.append(result)
     return results
+
+
+def run_evaluation(spec, jobs: int = 1, cache=None, echo: bool = False):
+    """Run an evaluation spec through the scheduler.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`~repro.core.spec.EvaluationSpec`.
+    jobs:
+        Worker processes (1 = serial in-process execution).
+    cache:
+        Optional :class:`~repro.core.scheduler.ResultCache` shared
+        across calls, so successive sweeps reuse measurements.
+    echo:
+        Print the cross-configuration comparison table.
+
+    Returns
+    -------
+    :class:`~repro.core.results.ResultSet`
+    """
+    from repro.core.scheduler import Scheduler, create_executor
+
+    scheduler = Scheduler(executor=create_executor(jobs), cache=cache)
+    result_set = scheduler.run(spec)
+    if echo:
+        print(result_set.comparison())
+    return result_set

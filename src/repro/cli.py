@@ -4,6 +4,8 @@ Usage::
 
     python -m repro list
     python -m repro evaluate --platform sun-ethernet --profile end-user
+    python -m repro evaluate --platforms sun-ethernet alpha-fddi \
+        --profile balanced end-user --jobs 4 --json sweep.json
     python -m repro experiment table3 fig4
     python -m repro usability
 """
@@ -32,11 +34,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list platforms, tools, experiments and profiles")
 
     evaluate = sub.add_parser("evaluate", help="run the three-level evaluation")
-    evaluate.add_argument("--platform", default="sun-ethernet")
+    evaluate.add_argument("--platform", default=None,
+                          help="single platform (default sun-ethernet)")
+    evaluate.add_argument("--platforms", nargs="+", default=None,
+                          help="sweep several platforms in one run")
     evaluate.add_argument("--processors", type=int, default=4)
-    evaluate.add_argument("--profile", default="balanced")
+    evaluate.add_argument("--profile", nargs="+", default=["balanced"],
+                          help="one or more weight profiles; extra profiles "
+                               "re-score cached measurements for free")
     evaluate.add_argument("--tools", nargs="+", default=None)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the simulations (default 1)")
+    evaluate.add_argument("--json", metavar="PATH", default=None,
+                          help="write samples and scores to a JSON file")
 
     experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
     experiment.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -62,28 +73,57 @@ def _cmd_list() -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    from repro.core.evaluation import evaluate_tools
+    from repro.core.scheduler import Scheduler, create_executor
+    from repro.core.spec import EvaluationSpec
     from repro.core.weights import PRESET_PROFILES
     from repro.errors import ReproError
-    from repro.tools.registry import PAPER_TOOL_NAMES
+    from repro.tools.registry import PAPER_TOOL_NAMES, TOOL_CLASSES, available_tools
 
-    if args.profile not in PRESET_PROFILES:
-        print("unknown profile %r; available: %s"
-              % (args.profile, ", ".join(sorted(PRESET_PROFILES))))
+    unknown = [name for name in args.profile if name not in PRESET_PROFILES]
+    if unknown:
+        print("unknown profile %s; available: %s"
+              % (", ".join(repr(name) for name in unknown),
+                 ", ".join(sorted(PRESET_PROFILES))))
         return 2
     tools = tuple(args.tools) if args.tools else PAPER_TOOL_NAMES
+    # Validate against the live registry up front, mirroring --profile.
+    unknown = [name for name in tools if name not in TOOL_CLASSES]
+    if unknown:
+        print("unknown tools %s; available: %s"
+              % (", ".join(repr(name) for name in unknown),
+                 ", ".join(available_tools())))
+        return 2
+    if args.platform and args.platforms:
+        print("use either --platform or --platforms, not both")
+        return 2
+    platforms = tuple(args.platforms or [args.platform or "sun-ethernet"])
     try:
-        report = evaluate_tools(
-            platform=args.platform,
-            processors=args.processors,
+        spec = EvaluationSpec(
             tools=tools,
-            profile=PRESET_PROFILES[args.profile],
-            seed=args.seed,
+            platforms=platforms,
+            processors=args.processors,
+            profiles=tuple(args.profile),
+            seeds=(args.seed,),
         )
+        scheduler = Scheduler(executor=create_executor(args.jobs))
+        result_set = scheduler.run(spec)
     except ReproError as error:
         print("error: %s" % error)
         return 2
-    print(report.summary())
+    if len(spec.platforms) == 1 and len(spec.profiles) == 1:
+        print(result_set.report().summary())
+    else:
+        print(result_set.comparison())
+        print()
+        print("%d simulations scored %d configurations"
+              % (scheduler.simulations_run, len(spec.cells())))
+    if args.json:
+        try:
+            result_set.to_json(args.json)
+        except OSError as error:
+            print("error: cannot write %s (%s)" % (args.json, error))
+            return 2
+        print("wrote %s" % args.json)
     return 0
 
 

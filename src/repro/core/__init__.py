@@ -7,6 +7,7 @@ from repro.core.evaluation import (
     ToolEvaluation,
     evaluate_tools,
 )
+from repro.core.jobs import MeasurementJob, execute_job
 from repro.core.levels import ADL, APL, EvaluationLevel, STANDARD_LEVELS, TPL
 from repro.core.metrics import (
     Measurement,
@@ -16,6 +17,15 @@ from repro.core.metrics import (
     ratio_scores,
 )
 from repro.core.ranking import PRIMITIVE_CLASSES, primitive_rankings, summary_table
+from repro.core.results import ResultSet
+from repro.core.scheduler import (
+    ProcessPoolExecutor,
+    ResultCache,
+    Scheduler,
+    SerialExecutor,
+    create_executor,
+)
+from repro.core.spec import DEFAULT_APP_PARAMS, DEFAULT_TPL_SIZES, EvaluationSpec
 from repro.core.usability import USABILITY_MATRIX, adl_score, usability_ratings
 from repro.core.weights import (
     APPLICATION_DEVELOPER,
@@ -33,13 +43,22 @@ __all__ = [
     "APPLICATION_DEVELOPER",
     "BALANCED",
     "Criterion",
+    "DEFAULT_APP_PARAMS",
+    "DEFAULT_TPL_SIZES",
     "END_USER",
     "EvaluationLevel",
     "EvaluationReport",
+    "EvaluationSpec",
     "Evaluator",
     "Measurement",
+    "MeasurementJob",
     "MeasurementSet",
     "NS",
+    "ProcessPoolExecutor",
+    "ResultCache",
+    "ResultSet",
+    "Scheduler",
+    "SerialExecutor",
     "PRESET_PROFILES",
     "PRIMITIVE_CLASSES",
     "PS",
@@ -53,7 +72,9 @@ __all__ = [
     "WeightProfile",
     "adl_score",
     "aggregate_scores",
+    "create_executor",
     "evaluate_tools",
+    "execute_job",
     "primitive_rankings",
     "rank_by_value",
     "ratio_scores",

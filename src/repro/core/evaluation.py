@@ -1,40 +1,36 @@
-"""The multi-level evaluator: the paper's methodology, executable.
+"""The multi-level evaluator: compatibility facade over the plan API.
 
-:class:`Evaluator` measures each tool at the Tool Performance Level
-(primitive micro-benchmarks) and the Application Performance Level
-(the four SU PDABS applications), scores the Application Development
-Level from the usability matrix, and combines the three with a
-:class:`~repro.core.weights.WeightProfile` into an overall ranking —
-objective 1 of the paper: "enabling the selection of the most
-appropriate PDC tools for a particular application class and system
-configuration".
+The methodology itself now lives in three composable layers:
+
+* :mod:`repro.core.spec` — :class:`EvaluationSpec`, the declarative
+  grid (tools x platforms x sizes x apps x profiles x seeds) that
+  expands into hashable :class:`~repro.core.jobs.MeasurementJob`\\ s;
+* :mod:`repro.core.scheduler` — :class:`Scheduler`, which executes
+  jobs through a pluggable serial or process-pool executor behind a
+  content-keyed result cache, so nothing is ever simulated twice;
+* :mod:`repro.core.results` — :class:`ResultSet`, which re-weights
+  one set of cached samples into a scored
+  :class:`EvaluationReport` per (platform, profile, seed) cell.
+
+:class:`Evaluator` and :func:`evaluate_tools` are thin shims kept for
+the paper-shaped single-platform workflow: they build a one-cell spec,
+run it through a private scheduler (so repeated calls on one evaluator
+reuse measurements), and return the classic report — objective 1 of
+the paper: "enabling the selection of the most appropriate PDC tools
+for a particular application class and system configuration".
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core import measurements
-from repro.core.levels import ADL, APL, EvaluationLevel, TPL
-from repro.core.metrics import MeasurementSet, Measurement, aggregate_scores
-from repro.core.usability import adl_score
+from repro.core.levels import EvaluationLevel
+from repro.core.metrics import MeasurementSet
 from repro.core.weights import BALANCED, WeightProfile
 from repro.errors import EvaluationError
 from repro.tools.registry import PAPER_TOOL_NAMES, TOOL_CLASSES
 
 __all__ = ["ToolEvaluation", "EvaluationReport", "Evaluator", "evaluate_tools"]
-
-#: Message sizes (bytes) for the TPL sweeps: small / medium / large.
-_DEFAULT_TPL_SIZES = (1024, 16384, 65536)
-
-#: Quick application workloads used for scoring runs (the full paper
-#: workloads live in the figure benchmarks, where runtime is expected).
-_DEFAULT_APP_PARAMS = {
-    "jpeg": {"height": 256, "width": 256},
-    "fft2d": {"size": 64},
-    "montecarlo": {"samples": 200_000},
-    "psrs": {"keys": 50_000},
-}
 
 
 class ToolEvaluation(object):
@@ -107,7 +103,13 @@ class EvaluationReport(object):
 
 
 class Evaluator(object):
-    """Configures and runs the three-level evaluation.
+    """Configures and runs the three-level evaluation on one platform.
+
+    A shim over the plan API: parameters become a one-platform
+    :class:`~repro.core.spec.EvaluationSpec` and all measurement goes
+    through a private :class:`~repro.core.scheduler.Scheduler`, so
+    calling :meth:`measure_tpl`, :meth:`measure_apl` and :meth:`run`
+    (even with several profiles) simulates each job exactly once.
 
     Parameters
     ----------
@@ -132,12 +134,15 @@ class Evaluator(object):
         platform: str,
         processors: int = 4,
         tools: Sequence[str] = PAPER_TOOL_NAMES,
-        tpl_sizes: Sequence[int] = _DEFAULT_TPL_SIZES,
+        tpl_sizes: Optional[Sequence[int]] = None,
         global_sum_ints: int = 25_000,
         apps: Optional[Sequence[str]] = None,
         app_params: Optional[Dict[str, dict]] = None,
         seed: int = 0,
     ) -> None:
+        from repro.core.scheduler import Scheduler
+        from repro.core.spec import DEFAULT_TPL_SIZES, EvaluationSpec
+
         # Check the live registry so tools registered at run time
         # (examples/custom_tool.py) evaluate like the built-ins.
         unknown = [tool for tool in tools if tool not in TOOL_CLASSES]
@@ -145,139 +150,87 @@ class Evaluator(object):
             raise EvaluationError("unknown tools: %s" % ", ".join(unknown))
         if processors < 2:
             raise EvaluationError("evaluation needs at least 2 processors")
-        self.platform = platform
-        self.processors = processors
-        self.tools = list(tools)
-        self.tpl_sizes = list(tpl_sizes)
-        self.global_sum_ints = global_sum_ints
-        self.apps = list(apps) if apps is not None else sorted(_DEFAULT_APP_PARAMS)
-        self.app_params = dict(_DEFAULT_APP_PARAMS)
-        if app_params:
-            for name, params in app_params.items():
-                self.app_params[name] = params
-        self.seed = seed
+        self._spec = EvaluationSpec(
+            tools=tuple(tools),
+            platforms=(platform,),
+            processors=processors,
+            tpl_sizes=tuple(tpl_sizes) if tpl_sizes is not None else DEFAULT_TPL_SIZES,
+            global_sum_ints=global_sum_ints,
+            apps=tuple(apps) if apps is not None else None,
+            app_params=dict(app_params) if app_params else {},
+            seeds=(seed,),
+        )
+        self._scheduler = Scheduler()
+
+    # -- spec views kept as attributes of the historical API.  The
+    # configuration is frozen at construction: these are read-only
+    # copies, and mutating them does not change what runs. ----------
+
+    @property
+    def platform(self) -> str:
+        return self._spec.platforms[0]
+
+    @property
+    def processors(self) -> int:
+        return self._spec.processors
+
+    @property
+    def tools(self) -> List[str]:
+        return list(self._spec.tools)
+
+    @property
+    def tpl_sizes(self) -> List[int]:
+        return list(self._spec.tpl_sizes)
+
+    @property
+    def global_sum_ints(self) -> int:
+        return self._spec.global_sum_ints
+
+    @property
+    def apps(self) -> List[str]:
+        return list(self._spec.apps)
+
+    @property
+    def app_params(self) -> Dict[str, dict]:
+        return {name: dict(params) for name, params in self._spec.app_params.items()}
+
+    @property
+    def seed(self) -> int:
+        return self._spec.seeds[0]
+
+    def _results(self):
+        """Run (or re-read) every job of the spec through the cache."""
+        return self._scheduler.run(self._spec)
 
     # ------------------------------------------------------------------
     # Level measurements
     # ------------------------------------------------------------------
 
     def measure_tpl(self) -> List[MeasurementSet]:
-        """All primitive measurement sets (one per primitive x size)."""
-        sets = []
-        for nbytes in self.tpl_sizes:
-            sets.append(
-                MeasurementSet(
-                    "send/receive %dB" % nbytes,
-                    [
-                        Measurement(
-                            tool,
-                            measurements.measure_sendrecv(
-                                tool, self.platform, nbytes, seed=self.seed
-                            ),
-                        )
-                        for tool in self.tools
-                    ],
-                )
-            )
-            sets.append(
-                MeasurementSet(
-                    "broadcast %dB" % nbytes,
-                    [
-                        Measurement(
-                            tool,
-                            measurements.measure_broadcast(
-                                tool, self.platform, nbytes,
-                                processors=self.processors, seed=self.seed,
-                            ),
-                        )
-                        for tool in self.tools
-                    ],
-                )
-            )
-            sets.append(
-                MeasurementSet(
-                    "ring %dB" % nbytes,
-                    [
-                        Measurement(
-                            tool,
-                            measurements.measure_ring(
-                                tool, self.platform, nbytes,
-                                processors=self.processors, seed=self.seed,
-                            ),
-                        )
-                        for tool in self.tools
-                    ],
-                )
-            )
-        sets.append(
-            MeasurementSet(
-                "global sum %d ints" % self.global_sum_ints,
-                [
-                    Measurement(
-                        tool,
-                        measurements.measure_global_sum(
-                            tool, self.platform, self.global_sum_ints,
-                            processors=self.processors, seed=self.seed,
-                        ),
-                    )
-                    for tool in self.tools
-                ],
-            )
-        )
-        return sets
+        """All primitive measurement sets (one per primitive x size).
+
+        Runs only the TPL jobs (not the whole spec), so a TPL-only
+        query never simulates the applications.
+        """
+        from repro.core.results import collect_tpl_sets
+
+        values = self._scheduler.run_jobs(self._spec.tpl_jobs(self.platform, self.seed))
+        return collect_tpl_sets(self._spec, self.platform, self.seed, values)
 
     def measure_apl(self) -> List[MeasurementSet]:
         """Application measurement sets (one per application)."""
-        sets = []
-        for app_name in self.apps:
-            params = self.app_params.get(app_name, {})
-            sets.append(
-                MeasurementSet(
-                    app_name,
-                    [
-                        Measurement(
-                            tool,
-                            measurements.measure_application(
-                                app_name, tool, self.platform,
-                                processors=self.processors, seed=self.seed, **params,
-                            ),
-                        )
-                        for tool in self.tools
-                    ],
-                )
-            )
-        return sets
+        from repro.core.results import collect_apl_sets
+
+        values = self._scheduler.run_jobs(self._spec.apl_jobs(self.platform, self.seed))
+        return collect_apl_sets(self._spec, self.platform, self.seed, values)
 
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
 
     def run(self, profile: WeightProfile = BALANCED) -> EvaluationReport:
-        """Measure everything and produce the weighted report."""
-        tpl_sets = self.measure_tpl()
-        apl_sets = self.measure_apl()
-
-        tpl_scores = aggregate_scores([s.scores() for s in tpl_sets])
-        apl_scores = aggregate_scores([s.scores() for s in apl_sets])
-        adl_scores = {tool: adl_score(tool) for tool in self.tools}
-
-        evaluations = []
-        for tool in self.tools:
-            level_scores = {
-                TPL: tpl_scores[tool],
-                APL: apl_scores[tool],
-                ADL: adl_scores[tool],
-            }
-            overall = profile.overall(level_scores)
-            detail = {
-                "tpl": {s.name: s.scores()[tool] for s in tpl_sets},
-                "apl": {s.name: s.scores()[tool] for s in apl_sets},
-            }
-            evaluations.append(ToolEvaluation(tool, level_scores, overall, detail))
-
-        return EvaluationReport(
-            self.platform, self.processors, profile, evaluations, tpl_sets, apl_sets
-        )
+        """Measure everything (once) and produce the weighted report."""
+        return self._results().report(self.platform, profile, self.seed)
 
 
 def evaluate_tools(

@@ -1,0 +1,135 @@
+"""Measurement jobs: the atomic, cacheable unit of evaluation work.
+
+A :class:`MeasurementJob` names one simulation — a primitive
+micro-benchmark or an application run for one tool on one platform
+with fixed parameters and seed.  Jobs are frozen and hashable, so a
+job is its own cache key: two sweeps that share a configuration share
+the measurement.  :func:`execute_job` maps a job onto the matching
+function in :mod:`repro.core.measurements`; it is a module-level
+function so jobs can ship to ``concurrent.futures`` worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "JOB_KINDS",
+    "MeasurementJob",
+    "execute_job",
+    "sendrecv_job",
+    "broadcast_job",
+    "ring_job",
+    "global_sum_job",
+    "application_job",
+]
+
+#: Every job kind :func:`execute_job` can run.
+JOB_KINDS = ("sendrecv", "broadcast", "ring", "global_sum", "application")
+
+
+@dataclass(frozen=True)
+class MeasurementJob:
+    """One simulation to run: ``(kind, tool, platform, params, seed)``.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs rather
+    than a dict so the job stays hashable; :meth:`params_dict` gives
+    the convenient view back.
+    """
+
+    kind: str
+    tool: str
+    platform: str
+    processors: int
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise EvaluationError(
+                "unknown job kind %r; available: %s" % (self.kind, ", ".join(JOB_KINDS))
+            )
+        object.__setattr__(self, "params", tuple(sorted(tuple(self.params))))
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Short human-readable description (for logs and traces)."""
+        inner = ", ".join("%s=%s" % item for item in self.params)
+        return "%s[%s] %s@%s/%d seed=%d" % (
+            self.kind, inner, self.tool, self.platform, self.processors, self.seed,
+        )
+
+
+def sendrecv_job(tool: str, platform: str, nbytes: int, seed: int = 0) -> MeasurementJob:
+    """Round-trip echo between ranks 0 and 1 (always a 2-rank run)."""
+    return MeasurementJob("sendrecv", tool, platform, 2, (("nbytes", nbytes),), seed)
+
+
+def broadcast_job(
+    tool: str, platform: str, nbytes: int, processors: int, seed: int = 0
+) -> MeasurementJob:
+    return MeasurementJob("broadcast", tool, platform, processors, (("nbytes", nbytes),), seed)
+
+
+def ring_job(
+    tool: str, platform: str, nbytes: int, processors: int, seed: int = 0
+) -> MeasurementJob:
+    return MeasurementJob("ring", tool, platform, processors, (("nbytes", nbytes),), seed)
+
+
+def global_sum_job(
+    tool: str, platform: str, vector_ints: int, processors: int, seed: int = 0
+) -> MeasurementJob:
+    return MeasurementJob(
+        "global_sum", tool, platform, processors, (("vector_ints", vector_ints),), seed
+    )
+
+
+def application_job(
+    app: str, tool: str, platform: str, processors: int, seed: int = 0, **app_params
+) -> MeasurementJob:
+    params = (("app", app),) + tuple(app_params.items())
+    return MeasurementJob("application", tool, platform, processors, params, seed)
+
+
+def execute_job(job: MeasurementJob) -> Optional[float]:
+    """Run one job's simulation and return its sample (seconds).
+
+    ``None`` marks "Not Available" (a tool missing the primitive),
+    exactly as in :mod:`repro.core.measurements`.
+    """
+    from repro.core import measurements
+
+    params = job.params_dict()
+    if job.kind == "sendrecv":
+        return measurements.measure_sendrecv(
+            job.tool, job.platform, params["nbytes"],
+            processors=job.processors, seed=job.seed,
+        )
+    if job.kind == "broadcast":
+        return measurements.measure_broadcast(
+            job.tool, job.platform, params["nbytes"],
+            processors=job.processors, seed=job.seed,
+        )
+    if job.kind == "ring":
+        return measurements.measure_ring(
+            job.tool, job.platform, params["nbytes"],
+            processors=job.processors, seed=job.seed,
+        )
+    if job.kind == "global_sum":
+        return measurements.measure_global_sum(
+            job.tool, job.platform, params["vector_ints"],
+            processors=job.processors, seed=job.seed,
+        )
+    if job.kind == "application":
+        app_name = params.pop("app")
+        return measurements.measure_application(
+            app_name, job.tool, job.platform,
+            processors=job.processors, seed=job.seed, **params,
+        )
+    raise EvaluationError("unknown job kind %r" % job.kind)

@@ -1,0 +1,234 @@
+"""Structured results: one measurement pass, many scored reports.
+
+A :class:`ResultSet` holds the samples of every
+:class:`~repro.core.jobs.MeasurementJob` a spec expanded to, keyed by
+the job itself.  From those it derives — *without re-simulating* —
+a full :class:`~repro.core.evaluation.EvaluationReport` for any
+(platform, weight profile, seed) cell of the grid, cross-platform /
+cross-profile comparison tables, and a JSON export of both raw
+samples and scores.  Re-weighting is a pure function of stored
+samples, which is what makes multi-profile sweeps free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.evaluation import EvaluationReport, ToolEvaluation
+from repro.core.jobs import MeasurementJob
+from repro.core.levels import ADL, APL, TPL
+from repro.core.metrics import Measurement, MeasurementSet, aggregate_scores
+from repro.core.usability import adl_score
+from repro.core.weights import WeightProfile
+from repro.errors import EvaluationError
+
+__all__ = ["ResultSet", "collect_tpl_sets", "collect_apl_sets"]
+
+
+def _collect(jobs, name, values) -> MeasurementSet:
+    return MeasurementSet(name, [Measurement(job.tool, values[job]) for job in jobs])
+
+
+def collect_tpl_sets(spec, platform: str, seed: int, values) -> List[MeasurementSet]:
+    """Group TPL job samples into the classic named measurement sets."""
+    by_kind_size = {}
+    for job in spec.tpl_jobs(platform, seed):
+        by_kind_size.setdefault((job.kind, job.params), []).append(job)
+    sets = []
+    names = {"sendrecv": "send/receive %dB", "broadcast": "broadcast %dB",
+             "ring": "ring %dB"}
+    for (kind, params), jobs in by_kind_size.items():
+        params = dict(params)
+        if kind == "global_sum":
+            name = "global sum %d ints" % params["vector_ints"]
+        else:
+            name = names[kind] % params["nbytes"]
+        sets.append(_collect(jobs, name, values))
+    return sets
+
+
+def collect_apl_sets(spec, platform: str, seed: int, values) -> List[MeasurementSet]:
+    """Group APL job samples into one measurement set per application."""
+    by_app = {}
+    for job in spec.apl_jobs(platform, seed):
+        by_app.setdefault(job.params_dict()["app"], []).append(job)
+    return [_collect(jobs, app, values) for app, jobs in by_app.items()]
+
+
+class ResultSet(object):
+    """Samples for every job of one spec, and the scoring on top."""
+
+    def __init__(
+        self,
+        spec,
+        values: Dict[MeasurementJob, Optional[float]],
+    ) -> None:
+        missing = [job for job in spec.jobs() if job not in values]
+        if missing:
+            raise EvaluationError(
+                "result set is missing %d of the spec's jobs (first: %s)"
+                % (len(missing), missing[0].label())
+            )
+        self.spec = spec
+        self.values = dict(values)
+        # Reconstruction memo: (platform, seed, level) -> measurement
+        # sets.  Safe because a ResultSet is immutable once built, and
+        # it keeps multi-profile scoring from redoing the grouping.
+        self._sets = {}
+
+    def __repr__(self) -> str:
+        return "<ResultSet %d samples, %d report cells>" % (
+            len(self.values), len(self.spec.cells()),
+        )
+
+    def value(self, job: MeasurementJob) -> Optional[float]:
+        return self.values[job]
+
+    # ------------------------------------------------------------------
+    # Reconstruction of measurement sets
+    # ------------------------------------------------------------------
+
+    def _check_cell(self, platform: str, seed: Optional[int]) -> int:
+        if platform not in self.spec.platforms:
+            raise EvaluationError("platform %r not in spec" % platform)
+        if seed is None:
+            return self.spec.seeds[0]
+        if seed not in self.spec.seeds:
+            raise EvaluationError("seed %r not in spec" % seed)
+        return seed
+
+    def tpl_sets(self, platform: str, seed: Optional[int] = None) -> List[MeasurementSet]:
+        """The named TPL measurement sets for one (platform, seed)."""
+        seed = self._check_cell(platform, seed)
+        key = (platform, seed, "tpl")
+        if key not in self._sets:
+            self._sets[key] = collect_tpl_sets(self.spec, platform, seed, self.values)
+        return self._sets[key]
+
+    def apl_sets(self, platform: str, seed: Optional[int] = None) -> List[MeasurementSet]:
+        """The per-application measurement sets for one (platform, seed)."""
+        seed = self._check_cell(platform, seed)
+        key = (platform, seed, "apl")
+        if key not in self._sets:
+            self._sets[key] = collect_apl_sets(self.spec, platform, seed, self.values)
+        return self._sets[key]
+
+    # ------------------------------------------------------------------
+    # Scoring (pure re-weighting; never re-simulates)
+    # ------------------------------------------------------------------
+
+    def _resolve_profile(self, profile) -> WeightProfile:
+        if profile is None:
+            return self.spec.profiles[0]
+        if isinstance(profile, WeightProfile):
+            return profile
+        for candidate in self.spec.profiles:
+            if candidate.name == profile:
+                return candidate
+        raise EvaluationError(
+            "profile %r not in spec; available: %s"
+            % (profile, ", ".join(p.name for p in self.spec.profiles))
+        )
+
+    def report(
+        self,
+        platform: Optional[str] = None,
+        profile: Union[WeightProfile, str, None] = None,
+        seed: Optional[int] = None,
+    ) -> EvaluationReport:
+        """The scored report for one grid cell (defaults: first of
+        each axis).  ``profile`` may be any :class:`WeightProfile`,
+        even one outside the spec — re-weighting is free."""
+        platform = platform if platform is not None else self.spec.platforms[0]
+        seed = self._check_cell(platform, seed)
+        profile = self._resolve_profile(profile)
+
+        tpl_sets = self.tpl_sets(platform, seed)
+        apl_sets = self.apl_sets(platform, seed)
+        tpl_scores = aggregate_scores([s.scores() for s in tpl_sets])
+        apl_scores = aggregate_scores([s.scores() for s in apl_sets])
+        adl_scores = {tool: adl_score(tool) for tool in self.spec.tools}
+
+        evaluations = []
+        for tool in self.spec.tools:
+            level_scores = {
+                TPL: tpl_scores[tool],
+                APL: apl_scores[tool],
+                ADL: adl_scores[tool],
+            }
+            overall = profile.overall(level_scores)
+            detail = {
+                "tpl": {s.name: s.scores()[tool] for s in tpl_sets},
+                "apl": {s.name: s.scores()[tool] for s in apl_sets},
+            }
+            evaluations.append(ToolEvaluation(tool, level_scores, overall, detail))
+
+        return EvaluationReport(
+            platform, self.spec.processors, profile, evaluations, tpl_sets, apl_sets
+        )
+
+    def reports(self) -> Dict[Tuple[str, str, int], EvaluationReport]:
+        """(platform, profile name, seed) -> report, over the grid."""
+        return {
+            (platform, profile.name, seed): self.report(platform, profile, seed)
+            for platform, profile, seed in self.spec.cells()
+        }
+
+    def best_tools(self) -> Dict[Tuple[str, str, int], str]:
+        """The winning tool of every grid cell."""
+        return {cell: report.best_tool() for cell, report in self.reports().items()}
+
+    # ------------------------------------------------------------------
+    # Rendering and export
+    # ------------------------------------------------------------------
+
+    def comparison(self) -> str:
+        """A cross-platform / cross-profile overall-score table."""
+        reports = self.reports()
+        lines = []
+        width = max([12] + [len(tool) for tool in self.spec.tools]) + 2
+        header = "Configuration".ljust(34) + "".join(
+            tool.ljust(width) for tool in self.spec.tools
+        ) + "best"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for (platform, profile_name, seed), report in reports.items():
+            label = "%s/%s" % (platform, profile_name)
+            if len(self.spec.seeds) > 1:
+                label += "#%d" % seed
+            scores = report.scores()
+            row = label.ljust(34)
+            row += "".join(
+                ("%.3f" % scores[tool]["overall"]).ljust(width)
+                for tool in self.spec.tools
+            )
+            row += report.best_tool()
+            lines.append(row)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        samples = [
+            {
+                "kind": job.kind,
+                "tool": job.tool,
+                "platform": job.platform,
+                "processors": job.processors,
+                "params": job.params_dict(),
+                "seed": job.seed,
+                "seconds": value,
+            }
+            for job, value in self.values.items()
+        ]
+        scores = {}
+        for (platform, profile_name, seed), report in self.reports().items():
+            key = "%s/%s/seed%d" % (platform, profile_name, seed)
+            scores[key] = report.scores()
+        return {"spec": self.spec.to_dict(), "samples": samples, "scores": scores}
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text

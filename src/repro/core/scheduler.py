@@ -1,0 +1,167 @@
+"""Job scheduling: executors and the content-keyed result cache.
+
+The :class:`Scheduler` turns an
+:class:`~repro.core.spec.EvaluationSpec` into a
+:class:`~repro.core.results.ResultSet`.  Each
+:class:`~repro.core.jobs.MeasurementJob` is an independent simulation,
+so execution is embarrassingly parallel: the executor is pluggable —
+:class:`SerialExecutor` runs in-process,
+:class:`ProcessPoolExecutor` fans jobs out over worker processes via
+:mod:`concurrent.futures`.  Finished samples land in a
+:class:`ResultCache` keyed by the job itself ``(kind, tool, platform,
+processors, params, seed)``, so repeated sweeps, overlapping grids and
+multi-profile re-scoring never re-simulate.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.jobs import MeasurementJob, execute_job
+from repro.errors import EvaluationError
+
+__all__ = [
+    "ResultCache",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "create_executor",
+    "Scheduler",
+]
+
+_MISSING = object()
+
+
+class ResultCache(object):
+    """Memo of completed measurements: job -> sample (seconds or None).
+
+    ``hits``/``misses`` count lookups, so callers can verify that a
+    re-run of an identical spec performed zero new simulations.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[MeasurementJob, Optional[float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, job: MeasurementJob) -> bool:
+        return job in self._store
+
+    def lookup(self, job: MeasurementJob):
+        """The cached sample, or the module-private MISSING sentinel
+        (``None`` is a legitimate sample: "Not Available")."""
+        value = self._store.get(job, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, job: MeasurementJob, value: Optional[float]) -> None:
+        self._store[job] = value
+
+    def peek(self, job: MeasurementJob) -> Optional[float]:
+        """The cached sample, without touching the hit/miss counters."""
+        return self._store[job]
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class SerialExecutor(object):
+    """Run jobs one after another in this process (the default)."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[MeasurementJob]) -> List[Optional[float]]:
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessPoolExecutor(object):
+    """Fan jobs out over ``max_workers`` worker processes.
+
+    Jobs and samples are plain picklable values, so this is a thin
+    wrapper over :class:`concurrent.futures.ProcessPoolExecutor`;
+    result order matches job order.
+
+    Tools registered at run time (:func:`repro.tools.registry.register_tool`)
+    reach workers only on fork-based platforms (Linux): under the
+    ``spawn`` start method (macOS/Windows) each worker re-imports the
+    registry without the registration, so use :class:`SerialExecutor`
+    for custom tools there.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise EvaluationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(self, jobs: Sequence[MeasurementJob]) -> List[Optional[float]]:
+        if not jobs:
+            return []
+        workers = min(self.max_workers, len(jobs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs))
+
+
+def create_executor(jobs: int = 1):
+    """Executor for a ``--jobs N`` style request: serial for 1."""
+    if jobs < 1:
+        raise EvaluationError("jobs must be >= 1")
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+class Scheduler(object):
+    """Executes specs: expand, dedupe, consult the cache, fan out.
+
+    Parameters
+    ----------
+    executor:
+        Any object with ``run(jobs) -> samples`` (default serial).
+    cache:
+        A shared :class:`ResultCache`; pass one cache to several
+        schedulers (or several ``run`` calls) to share measurements
+        across sweeps.
+    """
+
+    def __init__(self, executor=None, cache: Optional[ResultCache] = None) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache if cache is not None else ResultCache()
+        #: Simulations actually executed (cache misses) over this
+        #: scheduler's lifetime — the acceptance counter.
+        self.simulations_run = 0
+
+    def run_jobs(
+        self, jobs: Iterable[MeasurementJob]
+    ) -> Dict[MeasurementJob, Optional[float]]:
+        """Samples for ``jobs``, simulating only what the cache lacks."""
+        jobs = list(jobs)
+        pending = []
+        seen = set()
+        for job in jobs:
+            if job in seen:
+                continue
+            seen.add(job)
+            if self.cache.lookup(job) is _MISSING:
+                pending.append(job)
+        samples = self.executor.run(pending)
+        for job, sample in zip(pending, samples):
+            self.cache.store(job, sample)
+        self.simulations_run += len(pending)
+        return {job: self.cache.peek(job) for job in jobs}
+
+    def run(self, spec):
+        """Run a whole spec and wrap the samples in a ResultSet."""
+        from repro.core.results import ResultSet
+
+        values = self.run_jobs(spec.jobs())
+        return ResultSet(spec, values)

@@ -13,7 +13,15 @@ from repro.tools.p4 import P4Tool
 from repro.tools.profiles import ToolProfile
 from repro.tools.pvm import PvmTool
 
-__all__ = ["TOOL_CLASSES", "TOOL_NAMES", "PAPER_TOOL_NAMES", "PRIMITIVE_NAMES", "create_tool"]
+__all__ = [
+    "TOOL_CLASSES",
+    "TOOL_NAMES",
+    "PAPER_TOOL_NAMES",
+    "PRIMITIVE_NAMES",
+    "available_tools",
+    "create_tool",
+    "register_tool",
+]
 
 TOOL_CLASSES: Dict[str, Type[ToolRuntime]] = {
     "express": ExpressTool,
@@ -52,6 +60,29 @@ PRIMITIVE_NAMES = {
         "pvm": None,
     },
 }
+
+
+def available_tools() -> tuple:
+    """Tool names in the *live* registry (:data:`TOOL_NAMES` is the
+    import-time snapshot; this reflects run-time registrations)."""
+    return tuple(sorted(TOOL_CLASSES))
+
+
+def register_tool(name: str, tool_class: Type[ToolRuntime]) -> None:
+    """Register a runtime class so specs and the evaluator accept it.
+
+    Custom tools (the paper's "evaluate any parallel/distributed
+    tool") plug in here; pair this with a
+    :data:`~repro.core.usability.USABILITY_MATRIX` assessment so the
+    ADL level can score the newcomer.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("tool name must be a non-empty string")
+    if not (isinstance(tool_class, type) and issubclass(tool_class, ToolRuntime)):
+        raise ConfigurationError(
+            "tool class for %r must subclass ToolRuntime" % name
+        )
+    TOOL_CLASSES[name] = tool_class
 
 
 def create_tool(

@@ -1,0 +1,196 @@
+"""Scheduler, cache and ResultSet tests (tiny workloads throughout)."""
+
+import pytest
+
+from repro.core import evaluate_tools
+from repro.core.scheduler import (
+    ProcessPoolExecutor,
+    ResultCache,
+    Scheduler,
+    SerialExecutor,
+    create_executor,
+)
+from repro.core.spec import EvaluationSpec
+from repro.core.weights import WeightProfile
+from repro.errors import EvaluationError
+
+_TINY = dict(
+    tpl_sizes=(1024,),
+    global_sum_ints=2_000,
+    apps=("montecarlo",),
+    app_params={"montecarlo": {"samples": 5_000}},
+)
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(_TINY)
+    kwargs.update(overrides)
+    return EvaluationSpec(**kwargs)
+
+
+class TestCache:
+    def test_second_run_simulates_nothing(self):
+        """Re-running an identical spec performs zero new simulations."""
+        spec = tiny_spec()
+        scheduler = Scheduler()
+        first = scheduler.run(spec)
+        simulated = scheduler.simulations_run
+        assert simulated == spec.job_count()
+        second = scheduler.run(spec)
+        assert scheduler.simulations_run == simulated
+        assert scheduler.cache.hits == spec.job_count()
+        assert second.values == first.values
+
+    def test_overlapping_specs_share_measurements(self):
+        cache = ResultCache()
+        narrow = tiny_spec(tools=("p4", "pvm"))
+        wide = tiny_spec(tools=("p4", "pvm", "express"))
+        Scheduler(cache=cache).run(narrow)
+        scheduler = Scheduler(cache=cache)
+        scheduler.run(wide)
+        # Only express's share of the wide grid is new.
+        assert scheduler.simulations_run == wide.job_count() - narrow.job_count()
+
+    def test_cache_distinguishes_none_from_missing(self):
+        """PVM's missing global sum caches as None, not as a miss."""
+        spec = tiny_spec(tools=("pvm",))
+        scheduler = Scheduler()
+        result = scheduler.run(spec)
+        gsum = [job for job in spec.jobs() if job.kind == "global_sum"]
+        assert result.value(gsum[0]) is None
+        before = scheduler.simulations_run
+        scheduler.run(spec)
+        assert scheduler.simulations_run == before
+
+
+class TestExecutors:
+    def test_create_executor(self):
+        assert isinstance(create_executor(1), SerialExecutor)
+        assert isinstance(create_executor(3), ProcessPoolExecutor)
+        with pytest.raises(EvaluationError):
+            create_executor(0)
+
+    def test_serial_and_parallel_agree(self):
+        """Simulations are deterministic, so the backend is invisible."""
+        spec = tiny_spec(tools=("p4", "express"))
+        serial = Scheduler(executor=SerialExecutor()).run(spec)
+        parallel = Scheduler(executor=ProcessPoolExecutor(max_workers=2)).run(spec)
+        assert parallel.values == serial.values
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        """The acceptance grid: 2 platforms x 3 tools x 2 profiles."""
+        spec = tiny_spec(
+            platforms=("sun-ethernet", "sun-atm-lan"),
+            profiles=("balanced", "end-user"),
+        )
+        scheduler = Scheduler()
+        return spec, scheduler, scheduler.run(spec)
+
+    def test_profiles_rescore_from_one_measurement_pass(self, sweep):
+        spec, scheduler, result = sweep
+        assert scheduler.simulations_run == spec.job_count()
+        reports = result.reports()
+        assert set(reports) == {
+            (platform, profile, 0)
+            for platform in ("sun-ethernet", "sun-atm-lan")
+            for profile in ("balanced", "end-user")
+        }
+        # Scoring four report cells triggered no further simulation.
+        assert scheduler.simulations_run == spec.job_count()
+
+    def test_reweighting_changes_overall_not_levels(self, sweep):
+        _, _, result = sweep
+        balanced = result.report("sun-ethernet", "balanced")
+        end_user = result.report("sun-ethernet", "end-user")
+        for tool in balanced.scores():
+            assert balanced.scores()[tool]["tpl"] == end_user.scores()[tool]["tpl"]
+        assert any(
+            balanced.scores()[tool]["overall"] != end_user.scores()[tool]["overall"]
+            for tool in balanced.scores()
+        )
+
+    def test_out_of_spec_profile_is_still_free(self, sweep):
+        from repro.core.levels import ADL, APL, TPL
+
+        spec, scheduler, result = sweep
+        custom = WeightProfile("adl-heavy", {TPL: 0.1, APL: 0.1, ADL: 0.8})
+        report = result.report("sun-atm-lan", custom)
+        assert report.profile is custom
+        assert scheduler.simulations_run == spec.job_count()
+
+    def test_report_shape_matches_classic_evaluator(self, sweep):
+        _, _, result = sweep
+        classic = evaluate_tools(platform="sun-ethernet", **_TINY)
+        modern = result.report("sun-ethernet", "balanced")
+        assert modern.scores() == classic.scores()
+        assert modern.ranking() == classic.ranking()
+
+    def test_unknown_cell_rejected(self, sweep):
+        _, _, result = sweep
+        with pytest.raises(EvaluationError):
+            result.report("alpha-fddi")
+        with pytest.raises(EvaluationError):
+            result.report("sun-ethernet", "tool-developer")
+        with pytest.raises(EvaluationError):
+            result.report("sun-ethernet", "balanced", seed=99)
+
+    def test_comparison_table_covers_grid(self, sweep):
+        _, _, result = sweep
+        text = result.comparison()
+        for token in ("sun-ethernet/balanced", "sun-atm-lan/end-user", "p4"):
+            assert token in text
+
+    def test_nonzero_seed_specs_reconstruct(self):
+        """Set reconstruction defaults to the spec's seeds, not 0."""
+        spec = tiny_spec(tools=("p4",), seeds=(42,))
+        result = Scheduler().run(spec)
+        assert [s.name for s in result.tpl_sets("sun-ethernet")]
+        assert [s.name for s in result.apl_sets("sun-ethernet")] == ["montecarlo"]
+        with pytest.raises(EvaluationError):
+            result.tpl_sets("sun-ethernet", seed=0)
+
+    def test_json_export(self, sweep, tmp_path):
+        import json
+
+        spec, _, result = sweep
+        path = tmp_path / "sweep.json"
+        result.to_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["spec"] == spec.to_dict()
+        assert len(data["samples"]) == spec.job_count()
+        assert "sun-atm-lan/end-user/seed0" in data["scores"]
+
+
+class TestEvaluatorShim:
+    def test_repeated_runs_reuse_measurements(self):
+        from repro.core import Evaluator, PRESET_PROFILES
+
+        evaluator = Evaluator("sun-ethernet", **_TINY)
+        evaluator.run()
+        simulated = evaluator._scheduler.simulations_run
+        evaluator.run(PRESET_PROFILES["end-user"])
+        evaluator.measure_tpl()
+        evaluator.measure_apl()
+        assert evaluator._scheduler.simulations_run == simulated
+
+    def test_config_views_are_copies(self):
+        """Mutating the compat attributes cannot desync the spec."""
+        from repro.core import Evaluator
+
+        evaluator = Evaluator("sun-ethernet", **_TINY)
+        evaluator.app_params["montecarlo"]["samples"] = 10**9
+        evaluator.tools.append("mpi")
+        assert evaluator.app_params["montecarlo"]["samples"] == 5_000
+        assert evaluator.tools == ["express", "p4", "pvm"]
+
+    def test_measure_tpl_does_not_simulate_applications(self):
+        from repro.core import Evaluator
+
+        evaluator = Evaluator("sun-ethernet", **_TINY)
+        sets = evaluator.measure_tpl()
+        assert sets
+        tpl_jobs = evaluator._spec.tpl_jobs("sun-ethernet", 0)
+        assert evaluator._scheduler.simulations_run == len(tpl_jobs)

@@ -42,6 +42,32 @@ class TestEvaluate:
         assert main(["evaluate", "--platform", "cray-t3d"]) == 2
         assert "error" in capsys.readouterr().out
 
+    def test_unknown_tools_rejected_up_front(self, capsys):
+        """Typos fail fast and print the live registry, like --profile."""
+        assert main(["evaluate", "--tools", "p4", "linda"]) == 2
+        out = capsys.readouterr().out
+        assert "'linda'" in out
+        assert "pvm" in out
+
+    def test_platform_and_platforms_conflict(self, capsys):
+        assert main(["evaluate", "--platform", "sun-ethernet",
+                     "--platforms", "alpha-fddi"]) == 2
+        assert "not both" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_sweep_prints_comparison_and_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        assert main(["evaluate", "--platforms", "sun-ethernet", "sun-atm-lan",
+                     "--profile", "balanced", "end-user",
+                     "--processors", "2", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sun-atm-lan/end-user" in out
+        assert "simulations" in out
+        data = json.loads(path.read_text())
+        assert set(data) == {"spec", "samples", "scores"}
+
     @pytest.mark.slow
     def test_full_evaluation_runs(self, capsys):
         assert main(["evaluate", "--platform", "sun-atm-lan", "--processors", "2"]) == 0
