@@ -7,10 +7,18 @@ measurement exactly once, and re-score the cached samples under as
 many weight profiles as you like — here 3 platforms x 3 tools x 3
 profiles, or 9 scored reports from a single measurement pass.
 
+The second half shows the persistence story: the same sweep behind a
+``cache_dir=`` survives its process — a killed run re-launched over
+the same directory simulates only the jobs it never finished — and a
+multi-seed spec reports every cell as mean ±95% CI.
+
 Run with::
 
     PYTHONPATH=src python examples/sweep_grid.py
 """
+
+import shutil
+import tempfile
 
 from repro.core import EvaluationSpec, ResultCache, Scheduler, create_executor
 
@@ -63,6 +71,36 @@ def main() -> None:
     print()
     print("spec as JSON (first 3 lines):")
     print("\n".join(wider.to_json().splitlines()[:3] + ["  ..."]))
+
+    # -- Persistence: a killed sweep resumes from its cache directory.
+    print()
+    cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+    try:
+        seeded = spec.with_(platforms=("sun-ethernet",), seeds=(0, 1, 2))
+
+        # "First launch": simulate only one seed's TPL jobs, then die.
+        interrupted = Scheduler(cache_dir=cache_dir)
+        interrupted.run_jobs(seeded.tpl_jobs("sun-ethernet", 0))
+        done = interrupted.simulations_run
+        print("interrupted sweep persisted %d/%d jobs to %s"
+              % (done, seeded.job_count(), cache_dir))
+
+        # "Relaunch": a fresh process (fresh Scheduler) over the same
+        # directory picks up exactly where the first one stopped.
+        resumed = Scheduler(cache_dir=cache_dir)
+        stats_results = resumed.run(seeded)
+        print("resume simulated only the missing %d jobs (expected %d)"
+              % (resumed.simulations_run, seeded.job_count() - done))
+
+        # Seeds are the replication axis: report cells as mean ±95% CI.
+        print()
+        print(stats_results.comparison(stats=True))
+        telemetry = stats_results.to_dict()["telemetry"]["summary"]
+        print()
+        print("telemetry: %(simulated)d simulated, %(cache_hits)d cache "
+              "hits, %(total_wall_seconds).3fs simulating" % telemetry)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -54,7 +54,15 @@ def run_experiments(
     return results
 
 
-def run_evaluation(spec, jobs: int = 1, cache=None, echo: bool = False):
+def run_evaluation(
+    spec,
+    jobs: int = 1,
+    cache=None,
+    cache_dir: Optional[str] = None,
+    shards: int = 1,
+    stats: bool = False,
+    echo: bool = False,
+):
     """Run an evaluation spec through the scheduler.
 
     Parameters
@@ -64,19 +72,33 @@ def run_evaluation(spec, jobs: int = 1, cache=None, echo: bool = False):
     jobs:
         Worker processes (1 = serial in-process execution).
     cache:
-        Optional :class:`~repro.core.scheduler.ResultCache` shared
+        Optional :class:`~repro.core.cache.ResultCache` shared
         across calls, so successive sweeps reuse measurements.
+    cache_dir:
+        Alternatively, a directory for a persistent on-disk cache
+        (optionally split over ``shards`` sub-stores): an interrupted
+        sweep re-launched with the same directory simulates only the
+        jobs the first run never finished.
+    stats:
+        With ``echo``, print the multi-seed mean ±CI table instead of
+        one row per seed.
     echo:
         Print the cross-configuration comparison table.
 
     Returns
     -------
     :class:`~repro.core.results.ResultSet`
+        Carries per-job telemetry from this pass (``.telemetry``).
     """
     from repro.core.scheduler import Scheduler, create_executor
 
-    scheduler = Scheduler(executor=create_executor(jobs), cache=cache)
+    scheduler = Scheduler(
+        executor=create_executor(jobs),
+        cache=cache,
+        cache_dir=cache_dir,
+        shards=shards,
+    )
     result_set = scheduler.run(spec)
     if echo:
-        print(result_set.comparison())
+        print(result_set.comparison(stats=stats))
     return result_set

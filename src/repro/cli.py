@@ -33,7 +33,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list platforms, tools, experiments and profiles")
 
-    evaluate = sub.add_parser("evaluate", help="run the three-level evaluation")
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="run the three-level evaluation",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+caching & statistics:
+  --cache-dir DIR persists every measurement as a content-addressed
+  JSON entry: a sweep killed halfway and re-launched with the same
+  directory simulates only the jobs it never finished (0 on a clean
+  re-run), and overlapping sweeps share entries.  --shards N splits
+  the directory into N deterministic sub-stores for multi-host
+  fan-out.  --seeds 0 1 2 replicates every measurement; --stats then
+  reports each (platform, profile, tool) cell as mean ±95% CI over
+  the seeds instead of one row per seed.  --json exports samples,
+  scores, per-cell statistics and per-job telemetry (wall time,
+  executor, cache hit/miss, attempts).
+
+  example (resumable, statistically grounded sweep):
+    repro evaluate --platforms sun-ethernet alpha-fddi \\
+        --profile balanced end-user --seeds 0 1 2 \\
+        --cache-dir .repro-cache --jobs 4 --stats --json sweep.json
+""",
+    )
     evaluate.add_argument("--platform", default=None,
                           help="single platform (default sun-ethernet)")
     evaluate.add_argument("--platforms", nargs="+", default=None,
@@ -44,10 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
                                "re-score cached measurements for free")
     evaluate.add_argument("--tools", nargs="+", default=None)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--seeds", nargs="+", type=int, default=None,
+                          help="replicate the sweep under several seeds "
+                               "(overrides --seed; enables --stats)")
     evaluate.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the simulations (default 1)")
+    evaluate.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="persistent measurement cache: interrupted "
+                               "sweeps resume, repeated sweeps re-simulate "
+                               "nothing")
+    evaluate.add_argument("--shards", type=int, default=1,
+                          help="split --cache-dir into N deterministic "
+                               "sub-stores (default 1)")
+    evaluate.add_argument("--stats", action="store_true",
+                          help="aggregate across seeds: mean ±95%% CI per "
+                               "(platform, profile, tool) cell")
     evaluate.add_argument("--json", metavar="PATH", default=None,
-                          help="write samples and scores to a JSON file")
+                          help="write samples, scores, statistics and "
+                               "telemetry to a JSON file")
 
     experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
     experiment.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -97,26 +133,38 @@ def _cmd_evaluate(args) -> int:
         print("use either --platform or --platforms, not both")
         return 2
     platforms = tuple(args.platforms or [args.platform or "sun-ethernet"])
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
     try:
         spec = EvaluationSpec(
             tools=tools,
             platforms=platforms,
             processors=args.processors,
             profiles=tuple(args.profile),
-            seeds=(args.seed,),
+            seeds=seeds,
         )
-        scheduler = Scheduler(executor=create_executor(args.jobs))
+        scheduler = Scheduler(
+            executor=create_executor(args.jobs),
+            cache_dir=args.cache_dir,
+            shards=args.shards,
+        )
         result_set = scheduler.run(spec)
     except ReproError as error:
         print("error: %s" % error)
         return 2
-    if len(spec.platforms) == 1 and len(spec.profiles) == 1:
+    single_cell = (
+        len(spec.platforms) == 1 and len(spec.profiles) == 1 and len(spec.seeds) == 1
+    )
+    if single_cell and not args.stats:
         print(result_set.report().summary())
     else:
-        print(result_set.comparison())
+        print(result_set.comparison(stats=args.stats))
         print()
         print("%d simulations scored %d configurations"
               % (scheduler.simulations_run, len(spec.cells())))
+    if args.cache_dir:
+        print("cache %s: %d simulated, %d served from %s"
+              % (args.cache_dir, scheduler.simulations_run,
+                 scheduler.cache.hits, scheduler.cache.backend.name))
     if args.json:
         try:
             result_set.to_json(args.json)

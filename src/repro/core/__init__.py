@@ -1,5 +1,14 @@
 """The paper's contribution: the multi-level evaluation methodology."""
 
+from repro.core.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheBackend,
+    DiskBackend,
+    MemoryBackend,
+    ResultCache,
+    ShardedBackend,
+    job_key,
+)
 from repro.core.criteria import ADL_CRITERIA, Criterion, NS, PS, Rating, WS
 from repro.core.evaluation import (
     EvaluationReport,
@@ -19,13 +28,14 @@ from repro.core.metrics import (
 from repro.core.ranking import PRIMITIVE_CLASSES, primitive_rankings, summary_table
 from repro.core.results import ResultSet
 from repro.core.scheduler import (
+    JobTelemetry,
     ProcessPoolExecutor,
-    ResultCache,
     Scheduler,
     SerialExecutor,
     create_executor,
 )
 from repro.core.spec import DEFAULT_APP_PARAMS, DEFAULT_TPL_SIZES, EvaluationSpec
+from repro.core.stats import SampleStats, summarize, t_critical
 from repro.core.usability import USABILITY_MATRIX, adl_score, usability_ratings
 from repro.core.weights import (
     APPLICATION_DEVELOPER,
@@ -42,23 +52,30 @@ __all__ = [
     "APL",
     "APPLICATION_DEVELOPER",
     "BALANCED",
+    "CACHE_SCHEMA_VERSION",
+    "CacheBackend",
     "Criterion",
     "DEFAULT_APP_PARAMS",
     "DEFAULT_TPL_SIZES",
+    "DiskBackend",
     "END_USER",
     "EvaluationLevel",
     "EvaluationReport",
     "EvaluationSpec",
     "Evaluator",
+    "JobTelemetry",
     "Measurement",
     "MeasurementJob",
     "MeasurementSet",
+    "MemoryBackend",
     "NS",
     "ProcessPoolExecutor",
     "ResultCache",
     "ResultSet",
+    "SampleStats",
     "Scheduler",
     "SerialExecutor",
+    "ShardedBackend",
     "PRESET_PROFILES",
     "PRIMITIVE_CLASSES",
     "PS",
@@ -75,9 +92,12 @@ __all__ = [
     "create_executor",
     "evaluate_tools",
     "execute_job",
+    "job_key",
     "primitive_rankings",
     "rank_by_value",
     "ratio_scores",
+    "summarize",
     "summary_table",
+    "t_critical",
     "usability_ratings",
 ]

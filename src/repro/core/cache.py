@@ -1,0 +1,369 @@
+"""Pluggable, persistent result caching: backends behind ResultCache.
+
+The scheduler's memo of completed measurements used to be a plain
+in-process dict; this module generalizes it into a small storage
+stack so evaluation knowledge survives processes and can fan out
+across hosts:
+
+* :class:`CacheBackend` — the protocol every store implements:
+  string keys, ``get``/``put``/``__contains__``/``__len__``/``clear``.
+* :class:`MemoryBackend` — the original behavior, a dict.
+* :class:`DiskBackend` — one content-addressed JSON file per entry
+  under a cache directory, written atomically (temp file +
+  ``os.replace``) so a killed sweep never leaves a torn entry.
+  Entries are self-describing (they embed the job and a schema
+  version); entries written by an older schema read as misses, so
+  stale formats invalidate themselves instead of corrupting runs.
+* :class:`ShardedBackend` — routes each key deterministically to one
+  of N child backends, the layout for multi-host fan-out (give every
+  host the shard roster and they agree on placement with no
+  coordination).
+
+Keys come from :func:`job_key`: the SHA-256 of the job's canonical
+JSON plus :data:`CACHE_SCHEMA_VERSION`, so a job *is* its address —
+two sweeps that share a configuration share the entry, and bumping
+the schema version retires every old entry at once.
+
+:class:`ResultCache` keeps its PR-1 interface (``lookup``/``store``/
+``peek`` on jobs, hit/miss counters) but now delegates storage to any
+backend; ``ResultCache()`` is still purely in-memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.jobs import MeasurementJob
+from repro.errors import EvaluationError
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "MISSING",
+    "job_key",
+    "CacheBackend",
+    "MemoryBackend",
+    "DiskBackend",
+    "ShardedBackend",
+    "ResultCache",
+]
+
+#: Bump when the on-disk entry format (or the meaning of a sample)
+#: changes: every entry written under another version reads as a
+#: miss, so old cache directories drain instead of poisoning runs.
+CACHE_SCHEMA_VERSION = 1
+
+
+class _Missing(object):
+    """Sentinel distinguishing "no entry" from a cached ``None``
+    sample ("Not Available" is a legitimate measurement outcome)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+MISSING = _Missing()
+
+
+def job_key(job: MeasurementJob) -> str:
+    """The content address of a job: SHA-256 over its canonical JSON.
+
+    Includes :data:`CACHE_SCHEMA_VERSION`, so a schema bump changes
+    every address and old entries become unreachable by construction.
+    """
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "job": job.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CacheBackend(object):
+    """Protocol for key/value sample stores.
+
+    ``get`` returns :data:`MISSING` (never raises) for absent keys;
+    ``put`` may receive the originating job so persistent backends
+    can write self-describing entries.
+    """
+
+    name = "backend"
+
+    def get(self, key: str):
+        raise NotImplementedError
+
+    def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not MISSING
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class MemoryBackend(CacheBackend):
+    """The classic in-process dict store (dies with the process)."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._store: Dict[str, Optional[float]] = {}
+
+    def get(self, key: str):
+        return self._store.get(key, MISSING)
+
+    def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
+        self._store[key] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class DiskBackend(CacheBackend):
+    """Content-addressed JSON files under ``root``, one per entry.
+
+    Layout is ``root/<key[:2]>/<key>.json`` (256-way directory fanout
+    keeps listings sane at millions of entries).  Writes go through a
+    temp file in the destination directory plus ``os.replace``, which
+    is atomic on POSIX: concurrent writers of the *same* key race
+    harmlessly (the entry is deterministic) and a kill mid-write
+    leaves no partial file behind.
+
+    A small read-through memo avoids re-parsing a file on repeated
+    lookups within one process; durability always comes from disk.
+    """
+
+    name = "disk"
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._memo: Dict[str, Optional[float]] = {}
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    @staticmethod
+    def _read_entry(path: str) -> Optional[dict]:
+        """The entry at ``path``, or None if it is unreadable, torn,
+        or written by another schema (all read as misses)."""
+        try:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if "seconds" not in entry:
+            return None
+        return entry
+
+    def get(self, key: str):
+        if key in self._memo:
+            return self._memo[key]
+        entry = self._read_entry(self._path(key))
+        if entry is None:
+            return MISSING
+        value = entry["seconds"]
+        self._memo[key] = value
+        return value
+
+    def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "seconds": value,
+            "job": job.to_dict() if job is not None else None,
+        }
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._memo[key] = value
+
+    def _entry_paths(self) -> Iterator[str]:
+        try:
+            fanout = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for bucket in fanout:
+            bucket_dir = os.path.join(self.root, bucket)
+            if not os.path.isdir(bucket_dir):
+                continue
+            for name in sorted(os.listdir(bucket_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(bucket_dir, name)
+
+    def keys(self) -> List[str]:
+        """Keys of every entry :meth:`get` could actually serve —
+        stale-schema and torn files are excluded, matching ``get``."""
+        return [
+            os.path.basename(path)[: -len(".json")]
+            for path in self._entry_paths()
+            if self._read_entry(path) is not None
+        ]
+
+    def entries(self) -> Iterator[Tuple[MeasurementJob, Optional[float]]]:
+        """Yield every readable, schema-current ``(job, sample)`` pair.
+
+        Entries written without a job (or by another schema) are
+        skipped — this is the inspection/rebuild path, so it tolerates
+        partially foreign directories.
+        """
+        for path in self._entry_paths():
+            entry = self._read_entry(path)
+            if entry is None or entry.get("job") is None:
+                continue
+            try:
+                job = MeasurementJob.from_dict(entry["job"])
+            except (EvaluationError, KeyError, TypeError):
+                continue
+            yield job, entry["seconds"]
+
+    def __len__(self) -> int:
+        """How many entries are servable (consistent with ``get`` and
+        ``keys``): a drained stale-schema directory counts as empty."""
+        return len(self.keys())
+
+    def clear(self) -> None:
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._memo.clear()
+
+
+class ShardedBackend(CacheBackend):
+    """Deterministic key routing across N child backends.
+
+    The shard of a key is a pure function of the key's first 8 hex
+    digits, so any process holding the same shard roster places every
+    entry identically — the precondition for multi-host fan-out with
+    no placement coordination.
+    """
+
+    name = "sharded"
+
+    def __init__(self, backends: Sequence[CacheBackend]) -> None:
+        backends = list(backends)
+        if not backends:
+            raise EvaluationError("ShardedBackend needs at least one child backend")
+        self.backends = backends
+
+    @classmethod
+    def on_disk(cls, root: str, shards: int) -> "ShardedBackend":
+        """N :class:`DiskBackend` children under ``root/shard-NN``."""
+        if shards < 1:
+            raise EvaluationError("shards must be >= 1")
+        return cls(
+            [DiskBackend(os.path.join(os.fspath(root), "shard-%02d" % index))
+             for index in range(shards)]
+        )
+
+    def shard_index(self, key: str) -> int:
+        return int(key[:8], 16) % len(self.backends)
+
+    def shard_for(self, key: str) -> CacheBackend:
+        return self.backends[self.shard_index(key)]
+
+    def get(self, key: str):
+        return self.shard_for(key).get(key)
+
+    def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
+        self.shard_for(key).put(key, value, job)
+
+    def __len__(self) -> int:
+        return sum(len(backend) for backend in self.backends)
+
+    def clear(self) -> None:
+        for backend in self.backends:
+            backend.clear()
+
+
+class ResultCache(object):
+    """Memo of completed measurements: job -> sample (seconds or None).
+
+    ``hits``/``misses`` count lookups, so callers can verify that a
+    re-run of an identical spec performed zero new simulations.  The
+    storage itself is a pluggable :class:`CacheBackend`; the default
+    :class:`MemoryBackend` preserves the original in-process behavior,
+    while :meth:`on_disk` gives a persistent (optionally sharded)
+    cache that a killed sweep resumes from.
+    """
+
+    def __init__(self, backend: Optional[CacheBackend] = None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.hits = 0
+        self.misses = 0
+        # job -> content key memo: hashing a job canonicalizes it to
+        # JSON, which is worth doing once, not once per lookup.
+        self._keys: Dict[MeasurementJob, str] = {}
+
+    @classmethod
+    def on_disk(cls, cache_dir: str, shards: int = 1) -> "ResultCache":
+        """A persistent cache under ``cache_dir`` (sharded if > 1)."""
+        if shards < 1:
+            raise EvaluationError("shards must be >= 1")
+        if shards == 1:
+            return cls(DiskBackend(cache_dir))
+        return cls(ShardedBackend.on_disk(cache_dir, shards))
+
+    def key(self, job: MeasurementJob) -> str:
+        key = self._keys.get(job)
+        if key is None:
+            key = self._keys[job] = job_key(job)
+        return key
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def __contains__(self, job: MeasurementJob) -> bool:
+        return self.key(job) in self.backend
+
+    def lookup(self, job: MeasurementJob):
+        """The cached sample, or the :data:`MISSING` sentinel
+        (``None`` is a legitimate sample: "Not Available")."""
+        value = self.backend.get(self.key(job))
+        if value is MISSING:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, job: MeasurementJob, value: Optional[float]) -> None:
+        self.backend.put(self.key(job), value, job)
+
+    def peek(self, job: MeasurementJob) -> Optional[float]:
+        """The cached sample, without touching the hit/miss counters."""
+        value = self.backend.get(self.key(job))
+        if value is MISSING:
+            raise KeyError(job)
+        return value
+
+    def clear(self) -> None:
+        self.backend.clear()
+        self._keys.clear()
+        self.hits = 0
+        self.misses = 0

@@ -57,6 +57,30 @@ class MeasurementJob:
     def params_dict(self) -> Dict[str, Any]:
         return dict(self.params)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready description (the persistent cache's entry body)."""
+        return {
+            "kind": self.kind,
+            "tool": self.tool,
+            "platform": self.platform,
+            "processors": self.processors,
+            "params": [[name, value] for name, value in self.params],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MeasurementJob":
+        """Rebuild a job from :meth:`to_dict` output (JSON turns the
+        param pairs into lists; re-tuple them so the job hashes)."""
+        return cls(
+            kind=data["kind"],
+            tool=data["tool"],
+            platform=data["platform"],
+            processors=int(data["processors"]),
+            params=tuple((name, value) for name, value in data["params"]),
+            seed=int(data["seed"]),
+        )
+
     def label(self) -> str:
         """Short human-readable description (for logs and traces)."""
         inner = ", ".join("%s=%s" % item for item in self.params)

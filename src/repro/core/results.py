@@ -19,6 +19,7 @@ from repro.core.evaluation import EvaluationReport, ToolEvaluation
 from repro.core.jobs import MeasurementJob
 from repro.core.levels import ADL, APL, TPL
 from repro.core.metrics import Measurement, MeasurementSet, aggregate_scores
+from repro.core.stats import SampleStats, summarize
 from repro.core.usability import adl_score
 from repro.core.weights import WeightProfile
 from repro.errors import EvaluationError
@@ -63,6 +64,7 @@ class ResultSet(object):
         self,
         spec,
         values: Dict[MeasurementJob, Optional[float]],
+        telemetry: Optional[Dict[MeasurementJob, "JobTelemetry"]] = None,
     ) -> None:
         missing = [job for job in spec.jobs() if job not in values]
         if missing:
@@ -72,10 +74,17 @@ class ResultSet(object):
             )
         self.spec = spec
         self.values = dict(values)
-        # Reconstruction memo: (platform, seed, level) -> measurement
-        # sets.  Safe because a ResultSet is immutable once built, and
-        # it keeps multi-profile scoring from redoing the grouping.
+        #: job -> :class:`~repro.core.scheduler.JobTelemetry` for the
+        #: pass that produced this set (may be empty for hand-built
+        #: sets; scoring never consults it).
+        self.telemetry = dict(telemetry) if telemetry else {}
+        # Reconstruction memos: (platform, seed, level) -> measurement
+        # sets, and the full scored grid.  Safe because a ResultSet is
+        # immutable once built; they keep multi-profile re-scoring and
+        # repeated exports (comparison + statistics + to_dict all walk
+        # the same cells) from redoing the work.
         self._sets = {}
+        self._reports = None
 
     def __repr__(self) -> str:
         return "<ResultSet %d samples, %d report cells>" % (
@@ -170,21 +179,60 @@ class ResultSet(object):
 
     def reports(self) -> Dict[Tuple[str, str, int], EvaluationReport]:
         """(platform, profile name, seed) -> report, over the grid."""
-        return {
-            (platform, profile.name, seed): self.report(platform, profile, seed)
-            for platform, profile, seed in self.spec.cells()
-        }
+        if self._reports is None:
+            self._reports = {
+                (platform, profile.name, seed): self.report(platform, profile, seed)
+                for platform, profile, seed in self.spec.cells()
+            }
+        return self._reports
 
     def best_tools(self) -> Dict[Tuple[str, str, int], str]:
         """The winning tool of every grid cell."""
         return {cell: report.best_tool() for cell, report in self.reports().items()}
 
     # ------------------------------------------------------------------
+    # Multi-seed statistics
+    # ------------------------------------------------------------------
+
+    def seed_statistics(
+        self, confidence: float = 0.95
+    ) -> Dict[Tuple[str, str, str], SampleStats]:
+        """(platform, profile name, tool) -> stats of the overall
+        score across the spec's seeds.
+
+        Seeds are the replication axis, so this is the statistically
+        honest view of the grid: mean, sample stddev and a t-based
+        confidence interval per cell.  A single-seed spec degenerates
+        cleanly (stddev and CI are exactly ``0.0``, never NaN).
+        """
+        reports = self.reports()
+        stats = {}
+        for platform in self.spec.platforms:
+            for profile in self.spec.profiles:
+                overalls = {tool: [] for tool in self.spec.tools}
+                for seed in self.spec.seeds:
+                    scores = reports[(platform, profile.name, seed)].scores()
+                    for tool in self.spec.tools:
+                        overalls[tool].append(scores[tool]["overall"])
+                for tool, samples in overalls.items():
+                    stats[(platform, profile.name, tool)] = summarize(
+                        samples, confidence
+                    )
+        return stats
+
+    # ------------------------------------------------------------------
     # Rendering and export
     # ------------------------------------------------------------------
 
-    def comparison(self) -> str:
-        """A cross-platform / cross-profile overall-score table."""
+    def comparison(self, stats: bool = False, confidence: float = 0.95) -> str:
+        """A cross-platform / cross-profile overall-score table.
+
+        With ``stats=True``, seeds aggregate instead of printing one
+        row each: every (platform, profile) row shows ``mean ±CI``
+        per tool and the winner by mean score.
+        """
+        if stats:
+            return self._comparison_stats(confidence)
         reports = self.reports()
         lines = []
         width = max([12] + [len(tool) for tool in self.spec.tools]) + 2
@@ -207,6 +255,33 @@ class ResultSet(object):
             lines.append(row)
         return "\n".join(lines)
 
+    def _comparison_stats(self, confidence: float) -> str:
+        stats = self.seed_statistics(confidence)
+        lines = [
+            "overall score: mean ±%g%% CI over %d seed%s"
+            % (confidence * 100, len(self.spec.seeds),
+               "" if len(self.spec.seeds) == 1 else "s")
+        ]
+        width = max([14] + [len(tool) for tool in self.spec.tools]) + 2
+        header = "Configuration".ljust(34) + "".join(
+            tool.ljust(width) for tool in self.spec.tools
+        ) + "best"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for platform in self.spec.platforms:
+            for profile in self.spec.profiles:
+                cells = {
+                    tool: stats[(platform, profile.name, tool)]
+                    for tool in self.spec.tools
+                }
+                row = ("%s/%s" % (platform, profile.name)).ljust(34)
+                row += "".join(
+                    str(cells[tool]).ljust(width) for tool in self.spec.tools
+                )
+                row += max(cells, key=lambda tool: cells[tool].mean)
+                lines.append(row)
+        return "\n".join(lines)
+
     def to_dict(self) -> dict:
         samples = [
             {
@@ -224,7 +299,49 @@ class ResultSet(object):
         for (platform, profile_name, seed), report in self.reports().items():
             key = "%s/%s/seed%d" % (platform, profile_name, seed)
             scores[key] = report.scores()
-        return {"spec": self.spec.to_dict(), "samples": samples, "scores": scores}
+        statistics = {}
+        for (platform, profile_name, tool), stats in self.seed_statistics().items():
+            cell = "%s/%s" % (platform, profile_name)
+            statistics.setdefault(cell, {})[tool] = stats.to_dict()
+        data = {
+            "spec": self.spec.to_dict(),
+            "samples": samples,
+            "scores": scores,
+            "statistics": statistics,
+        }
+        if self.telemetry:
+            data["telemetry"] = self._telemetry_dict()
+        return data
+
+    def _telemetry_dict(self) -> dict:
+        jobs = []
+        for job, record in self.telemetry.items():
+            entry = {
+                "kind": job.kind,
+                "tool": job.tool,
+                "platform": job.platform,
+                "processors": job.processors,
+                "params": job.params_dict(),
+                "seed": job.seed,
+            }
+            entry.update(record.to_dict())
+            jobs.append(entry)
+        walls = [
+            record.wall_seconds
+            for record in self.telemetry.values()
+            if not record.cache_hit and record.wall_seconds is not None
+        ]
+        summary = {
+            "simulated": sum(
+                1 for record in self.telemetry.values() if not record.cache_hit
+            ),
+            "cache_hits": sum(
+                1 for record in self.telemetry.values() if record.cache_hit
+            ),
+            "total_wall_seconds": sum(walls) if walls else 0.0,
+            "executors": sorted({r.executor for r in self.telemetry.values()}),
+        }
+        return {"summary": summary, "jobs": jobs}
 
     def to_json(self, path: Optional[str] = None) -> str:
         text = json.dumps(self.to_dict(), indent=2, sort_keys=True)

@@ -1,4 +1,4 @@
-"""Job scheduling: executors and the content-keyed result cache.
+"""Job scheduling: executors, the result cache, and per-job telemetry.
 
 The :class:`Scheduler` turns an
 :class:`~repro.core.spec.EvaluationSpec` into a
@@ -8,69 +8,97 @@ so execution is embarrassingly parallel: the executor is pluggable —
 :class:`SerialExecutor` runs in-process,
 :class:`ProcessPoolExecutor` fans jobs out over worker processes via
 :mod:`concurrent.futures`.  Finished samples land in a
-:class:`ResultCache` keyed by the job itself ``(kind, tool, platform,
-processors, params, seed)``, so repeated sweeps, overlapping grids and
-multi-profile re-scoring never re-simulate.
+:class:`~repro.core.cache.ResultCache` keyed by the job's content
+address, behind any :class:`~repro.core.cache.CacheBackend` — pass
+``cache_dir=`` for a persistent on-disk cache a killed sweep resumes
+from, and ``shards=`` to spread it over N sub-stores.
+
+Every executed or cache-served job leaves a :class:`JobTelemetry`
+record (wall time, executor, hit/miss, attempt count) in
+``Scheduler.telemetry``; :meth:`Scheduler.run` hands the relevant
+slice to the :class:`~repro.core.results.ResultSet` so exports carry
+provenance alongside samples.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Dict, Iterable, List, Optional, Sequence
+import functools
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
+from repro.core.cache import MISSING, CacheBackend, ResultCache
 from repro.core.jobs import MeasurementJob, execute_job
 from repro.errors import EvaluationError
 
 __all__ = [
     "ResultCache",
+    "JobOutcome",
+    "JobTelemetry",
     "SerialExecutor",
     "ProcessPoolExecutor",
     "create_executor",
+    "execute_job_instrumented",
     "Scheduler",
 ]
 
-_MISSING = object()
+# Backward-compatible alias: the sentinel moved to repro.core.cache.
+_MISSING = MISSING
 
 
-class ResultCache(object):
-    """Memo of completed measurements: job -> sample (seconds or None).
+class JobOutcome(NamedTuple):
+    """What instrumented execution reports per job."""
 
-    ``hits``/``misses`` count lookups, so callers can verify that a
-    re-run of an identical spec performed zero new simulations.
+    value: Optional[float]
+    wall_seconds: float
+    attempts: int
+
+
+@dataclass(frozen=True)
+class JobTelemetry:
+    """Provenance of one sample in one scheduler pass.
+
+    ``wall_seconds`` is ``None`` when the executor could not report
+    per-job timing (a custom executor without ``run_instrumented``);
+    cache hits record ``0.0`` — the sample cost nothing this pass.
     """
 
-    def __init__(self) -> None:
-        self._store: Dict[MeasurementJob, Optional[float]] = {}
-        self.hits = 0
-        self.misses = 0
+    job: MeasurementJob
+    executor: str
+    cache_hit: bool
+    wall_seconds: Optional[float]
+    attempts: int
 
-    def __len__(self) -> int:
-        return len(self._store)
+    def to_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "cache_hit": self.cache_hit,
+            "wall_seconds": self.wall_seconds,
+            "attempts": self.attempts,
+        }
 
-    def __contains__(self, job: MeasurementJob) -> bool:
-        return job in self._store
 
-    def lookup(self, job: MeasurementJob):
-        """The cached sample, or the module-private MISSING sentinel
-        (``None`` is a legitimate sample: "Not Available")."""
-        value = self._store.get(job, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
+def execute_job_instrumented(job: MeasurementJob, retries: int = 1) -> JobOutcome:
+    """Run one job, timing it and retrying transient failures.
+
+    Module-level (and called via :func:`functools.partial`) so it
+    pickles into :mod:`concurrent.futures` worker processes.
+    """
+    if retries < 1:
+        raise EvaluationError("retries must be >= 1")
+    start = time.perf_counter()
+    for attempt in range(1, retries + 1):
+        try:
+            value = execute_job(job)
+        except EvaluationError:
+            raise  # misconfiguration: retrying cannot help
+        except Exception:
+            if attempt == retries:
+                raise
         else:
-            self.hits += 1
-        return value
-
-    def store(self, job: MeasurementJob, value: Optional[float]) -> None:
-        self._store[job] = value
-
-    def peek(self, job: MeasurementJob) -> Optional[float]:
-        """The cached sample, without touching the hit/miss counters."""
-        return self._store[job]
-
-    def clear(self) -> None:
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+            return JobOutcome(value, time.perf_counter() - start, attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class SerialExecutor(object):
@@ -80,6 +108,15 @@ class SerialExecutor(object):
 
     def run(self, jobs: Sequence[MeasurementJob]) -> List[Optional[float]]:
         return [execute_job(job) for job in jobs]
+
+    def run_instrumented(
+        self, jobs: Sequence[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        # A generator, deliberately: the scheduler persists each
+        # outcome as it arrives, so a killed sweep keeps every job it
+        # finished instead of losing the whole batch.
+        for job in jobs:
+            yield execute_job_instrumented(job, retries)
 
 
 class ProcessPoolExecutor(object):
@@ -110,6 +147,20 @@ class ProcessPoolExecutor(object):
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(execute_job, jobs))
 
+    def run_instrumented(
+        self, jobs: Sequence[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        # Streams results as ``pool.map`` yields them (in job order),
+        # so the scheduler persists finished work while later jobs
+        # are still simulating.
+        if not jobs:
+            return
+        worker = functools.partial(execute_job_instrumented, retries=retries)
+        workers = min(self.max_workers, len(jobs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            for outcome in pool.map(worker, jobs):
+                yield outcome
+
 
 def create_executor(jobs: int = 1):
     """Executor for a ``--jobs N`` style request: serial for 1."""
@@ -126,19 +177,71 @@ class Scheduler(object):
     Parameters
     ----------
     executor:
-        Any object with ``run(jobs) -> samples`` (default serial).
+        Any object with ``run(jobs) -> samples`` (default serial);
+        executors that also offer ``run_instrumented(jobs, retries)``
+        get per-job wall times and retry handling.
     cache:
-        A shared :class:`ResultCache`; pass one cache to several
-        schedulers (or several ``run`` calls) to share measurements
-        across sweeps.
+        A shared :class:`~repro.core.cache.ResultCache`; pass one
+        cache to several schedulers (or several ``run`` calls) to
+        share measurements across sweeps.
+    cache_backend:
+        Alternatively, a bare :class:`~repro.core.cache.CacheBackend`
+        to wrap in a fresh ``ResultCache``.
+    cache_dir:
+        Alternatively, a directory for a persistent on-disk cache
+        (optionally split over ``shards`` sub-stores); an interrupted
+        sweep re-launched with the same directory simulates only the
+        jobs the first run never finished.
+    retries:
+        Attempts per job before an unexpected simulation failure
+        propagates (1 = no retry).
     """
 
-    def __init__(self, executor=None, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        executor=None,
+        cache: Optional[ResultCache] = None,
+        cache_backend: Optional[CacheBackend] = None,
+        cache_dir: Optional[str] = None,
+        shards: int = 1,
+        retries: int = 1,
+    ) -> None:
+        if sum(option is not None for option in (cache, cache_backend, cache_dir)) > 1:
+            raise EvaluationError(
+                "pass at most one of cache=, cache_backend= and cache_dir="
+            )
+        if retries < 1:
+            raise EvaluationError("retries must be >= 1")
         self.executor = executor if executor is not None else SerialExecutor()
-        self.cache = cache if cache is not None else ResultCache()
+        if cache is not None:
+            self.cache = cache
+        elif cache_backend is not None:
+            self.cache = ResultCache(cache_backend)
+        elif cache_dir is not None:
+            self.cache = ResultCache.on_disk(cache_dir, shards=shards)
+        else:
+            self.cache = ResultCache()
+        self.retries = retries
         #: Simulations actually executed (cache misses) over this
         #: scheduler's lifetime — the acceptance counter.
         self.simulations_run = 0
+        #: job -> :class:`JobTelemetry` for every job this scheduler
+        #: has served (latest pass wins on re-runs).
+        self.telemetry: Dict[MeasurementJob, JobTelemetry] = {}
+
+    @property
+    def executor_name(self) -> str:
+        return getattr(self.executor, "name", type(self.executor).__name__)
+
+    def _execute(self, pending: List[MeasurementJob]) -> Iterator[JobOutcome]:
+        runner = getattr(self.executor, "run_instrumented", None)
+        if runner is not None:
+            return iter(runner(pending, retries=self.retries))
+        # Plain `run(jobs)` executors predate telemetry: samples come
+        # back untimed, so wall_seconds is honestly unknown.
+        return iter(
+            JobOutcome(value, None, 1) for value in self.executor.run(pending)
+        )
 
     def run_jobs(
         self, jobs: Iterable[MeasurementJob]
@@ -151,12 +254,21 @@ class Scheduler(object):
             if job in seen:
                 continue
             seen.add(job)
-            if self.cache.lookup(job) is _MISSING:
+            if self.cache.lookup(job) is MISSING:
                 pending.append(job)
-        samples = self.executor.run(pending)
-        for job, sample in zip(pending, samples):
-            self.cache.store(job, sample)
-        self.simulations_run += len(pending)
+            else:
+                self.telemetry[job] = JobTelemetry(
+                    job, self.executor_name, True, 0.0, 0
+                )
+        # Store each outcome as the executor yields it: a sweep killed
+        # (or crashed) mid-batch keeps every job it finished, which is
+        # what makes --cache-dir resume skip all completed work.
+        for job, outcome in zip(pending, self._execute(pending)):
+            self.cache.store(job, outcome.value)
+            self.telemetry[job] = JobTelemetry(
+                job, self.executor_name, False, outcome.wall_seconds, outcome.attempts
+            )
+            self.simulations_run += 1
         return {job: self.cache.peek(job) for job in jobs}
 
     def run(self, spec):
@@ -164,4 +276,7 @@ class Scheduler(object):
         from repro.core.results import ResultSet
 
         values = self.run_jobs(spec.jobs())
-        return ResultSet(spec, values)
+        telemetry = {
+            job: self.telemetry[job] for job in values if job in self.telemetry
+        }
+        return ResultSet(spec, values, telemetry=telemetry)

@@ -1,0 +1,109 @@
+"""Small-sample statistics for multi-seed score aggregation.
+
+Seeds are the replication axis of an :class:`~repro.core.spec.EvaluationSpec`:
+one spec run under seeds ``(0, 1, 2, ...)`` yields one overall score
+per seed for every (platform, profile, tool) cell, and reports should
+state the mean with an honest uncertainty.  With a handful of seeds a
+normal interval is too tight, so confidence intervals use Student's t
+critical values (two-sided, table for small df, normal limit beyond);
+``scipy`` stays out of the dependency set.
+
+Everything is plain python floats — sample sizes here are seeds, not
+measurements, so vectorization would buy nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import EvaluationError
+
+__all__ = ["SampleStats", "summarize", "t_critical"]
+
+#: Two-sided Student's t critical values by degrees of freedom, for
+#: the confidence levels reports offer.  df beyond the table fall
+#: back to the normal-approximation limit (the ``0`` entry).
+_T_TABLE: Dict[float, Sequence[float]] = {
+    0.90: (1.645, 6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+           1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740,
+           1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+           1.703, 1.701, 1.699, 1.697),
+    0.95: (1.960, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+           2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+           2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+           2.052, 2.048, 2.045, 2.042),
+    0.99: (2.576, 63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+           3.250, 3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898,
+           2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+           2.771, 2.763, 2.756, 2.750),
+}
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student's t critical value for ``df`` degrees of
+    freedom (``df > len(table)`` uses the normal limit)."""
+    try:
+        table = _T_TABLE[confidence]
+    except KeyError:
+        raise EvaluationError(
+            "unsupported confidence %r; available: %s"
+            % (confidence, ", ".join("%.2f" % level for level in sorted(_T_TABLE)))
+        )
+    if df < 1:
+        raise EvaluationError("degrees of freedom must be >= 1")
+    if df < len(table):
+        return table[df]
+    return table[0]
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Mean / sample stddev / CI half-width of one score sample."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci_halfwidth: float
+    confidence: float = 0.95
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci_halfwidth
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "ci_halfwidth": self.ci_halfwidth,
+            "confidence": self.confidence,
+        }
+
+    def __str__(self) -> str:
+        return "%.3f ±%.3f" % (self.mean, self.ci_halfwidth)
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> SampleStats:
+    """Mean, sample stddev (ddof=1) and t-based CI half-width.
+
+    A single sample is legal and degenerate by design: stddev and the
+    interval collapse to exactly ``0.0`` — never ``NaN`` — so
+    single-seed specs flow through the same reporting path.
+    """
+    values = [float(value) for value in samples]
+    if not values:
+        raise EvaluationError("cannot summarize an empty sample")
+    n = len(values)
+    mean = math.fsum(values) / n
+    if n == 1:
+        return SampleStats(n, mean, 0.0, 0.0, confidence)
+    variance = math.fsum((value - mean) ** 2 for value in values) / (n - 1)
+    stddev = math.sqrt(variance)
+    halfwidth = t_critical(n - 1, confidence) * stddev / math.sqrt(n)
+    return SampleStats(n, mean, stddev, halfwidth, confidence)

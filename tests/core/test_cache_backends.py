@@ -1,0 +1,189 @@
+"""Unit tests for the cache storage stack (memory, disk, sharded)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cache import (
+    CACHE_SCHEMA_VERSION,
+    MISSING,
+    DiskBackend,
+    MemoryBackend,
+    ResultCache,
+    ShardedBackend,
+    job_key,
+)
+from repro.core.jobs import application_job, sendrecv_job
+from repro.errors import EvaluationError
+
+JOB = sendrecv_job("p4", "sun-ethernet", 1024)
+OTHER = sendrecv_job("pvm", "sun-ethernet", 1024)
+
+
+class TestJobKey:
+    def test_stable_and_content_addressed(self):
+        assert job_key(JOB) == job_key(sendrecv_job("p4", "sun-ethernet", 1024))
+        assert job_key(JOB) != job_key(OTHER)
+        assert len(job_key(JOB)) == 64
+        int(job_key(JOB), 16)  # hex
+
+    def test_param_order_is_canonical(self):
+        left = application_job("montecarlo", "p4", "sun-ethernet", 4, samples=10, chunk=2)
+        right = application_job("montecarlo", "p4", "sun-ethernet", 4, chunk=2, samples=10)
+        assert job_key(left) == job_key(right)
+
+
+class TestMemoryBackend:
+    def test_get_put_contains_len_clear(self):
+        backend = MemoryBackend()
+        key = job_key(JOB)
+        assert backend.get(key) is MISSING
+        assert key not in backend
+        backend.put(key, 1.5, JOB)
+        assert backend.get(key) == 1.5
+        assert key in backend and len(backend) == 1
+        backend.clear()
+        assert backend.get(key) is MISSING and len(backend) == 0
+
+    def test_none_sample_is_not_missing(self):
+        backend = MemoryBackend()
+        backend.put("k", None)
+        assert backend.get("k") is None
+        assert "k" in backend
+
+
+class TestDiskBackend:
+    def test_round_trip_survives_reopen(self, tmp_path):
+        key = job_key(JOB)
+        DiskBackend(str(tmp_path)).put(key, 0.25, JOB)
+        fresh = DiskBackend(str(tmp_path))
+        assert fresh.get(key) == 0.25
+        assert len(fresh) == 1
+        assert fresh.keys() == [key]
+
+    def test_none_sample_round_trips(self, tmp_path):
+        key = job_key(JOB)
+        DiskBackend(str(tmp_path)).put(key, None, JOB)
+        assert DiskBackend(str(tmp_path)).get(key) is None
+
+    def test_entries_reconstruct_jobs(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put(job_key(JOB), 0.25, JOB)
+        backend.put(job_key(OTHER), 0.5, OTHER)
+        entries = dict(DiskBackend(str(tmp_path)).entries())
+        assert entries == {JOB: 0.25, OTHER: 0.5}
+
+    def test_stale_schema_reads_as_miss(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        key = job_key(JOB)
+        backend.put(key, 0.25, JOB)
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        entry = json.load(open(path))
+        entry["schema"] = CACHE_SCHEMA_VERSION - 1
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        fresh = DiskBackend(str(tmp_path))
+        assert fresh.get(key) is MISSING
+        assert list(fresh.entries()) == []
+        # len/keys agree with get: a drained stale directory is empty.
+        assert len(fresh) == 0
+        assert fresh.keys() == []
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        key = job_key(JOB)
+        backend.put(key, 0.25, JOB)
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        fresh = DiskBackend(str(tmp_path))
+        assert fresh.get(key) is MISSING
+        assert list(fresh.entries()) == []
+
+    def test_write_is_atomic_no_temp_droppings(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        for index in range(8):
+            backend.put(job_key(sendrecv_job("p4", "sun-ethernet", 1024, seed=index)),
+                        float(index))
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if not name.endswith(".json")
+        ]
+        assert leftovers == []
+
+    def test_clear_removes_entries(self, tmp_path):
+        backend = DiskBackend(str(tmp_path))
+        backend.put(job_key(JOB), 0.25, JOB)
+        backend.clear()
+        assert len(backend) == 0
+        assert DiskBackend(str(tmp_path)).get(job_key(JOB)) is MISSING
+
+
+class TestShardedBackend:
+    def test_needs_children(self):
+        with pytest.raises(EvaluationError):
+            ShardedBackend([])
+        with pytest.raises(EvaluationError):
+            ShardedBackend.on_disk("unused", shards=0)
+
+    def test_routes_to_exactly_one_memory_shard(self):
+        backend = ShardedBackend([MemoryBackend() for _ in range(4)])
+        key = job_key(JOB)
+        backend.put(key, 0.25, JOB)
+        holders = [child for child in backend.backends if key in child]
+        assert len(holders) == 1
+        assert holders[0] is backend.backends[backend.shard_index(key)]
+        assert backend.get(key) == 0.25
+        assert len(backend) == 1
+
+    def test_disk_shards_share_a_root(self, tmp_path):
+        backend = ShardedBackend.on_disk(str(tmp_path), shards=3)
+        keys = [job_key(sendrecv_job("p4", "sun-ethernet", 1024, seed=s))
+                for s in range(12)]
+        for index, key in enumerate(keys):
+            backend.put(key, float(index))
+        assert sorted(os.listdir(str(tmp_path))) == ["shard-00", "shard-01", "shard-02"]
+        reopened = ShardedBackend.on_disk(str(tmp_path), shards=3)
+        assert [reopened.get(key) for key in keys] == [float(i) for i in range(12)]
+        assert len(reopened) == 12
+
+
+class TestResultCache:
+    def test_default_backend_is_memory(self):
+        assert isinstance(ResultCache().backend, MemoryBackend)
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache()
+        assert cache.lookup(JOB) is MISSING
+        cache.store(JOB, 1.0)
+        assert cache.lookup(JOB) == 1.0
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert JOB in cache and OTHER not in cache
+
+    def test_peek_raises_and_leaves_counters(self):
+        cache = ResultCache()
+        with pytest.raises(KeyError):
+            cache.peek(JOB)
+        cache.store(JOB, None)
+        assert cache.peek(JOB) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_on_disk_factory(self, tmp_path):
+        single = ResultCache.on_disk(str(tmp_path / "one"))
+        assert isinstance(single.backend, DiskBackend)
+        sharded = ResultCache.on_disk(str(tmp_path / "many"), shards=2)
+        assert isinstance(sharded.backend, ShardedBackend)
+        assert len(sharded.backend.backends) == 2
+        with pytest.raises(EvaluationError):
+            ResultCache.on_disk(str(tmp_path), shards=0)
+
+    def test_clear_resets_store_and_counters(self, tmp_path):
+        cache = ResultCache.on_disk(str(tmp_path))
+        cache.store(JOB, 1.0)
+        cache.lookup(JOB)
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+        assert cache.lookup(JOB) is MISSING

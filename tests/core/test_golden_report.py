@@ -1,0 +1,61 @@
+"""Golden-report regression net: scoring and serialization drift.
+
+One small canonical spec is checked in next to the exact JSON export
+it must produce (``tests/data/``).  Simulation is deterministic, so
+any diff here is a behavior change — either a bug, or an intentional
+change that must regenerate the fixture via
+``scripts/regen_golden.py`` and justify the new numbers in review.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.core.spec import EvaluationSpec
+
+DATA_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "data")
+
+
+@pytest.fixture(scope="module")
+def golden_spec():
+    with open(os.path.join(DATA_DIR, "golden_spec.json")) as handle:
+        return EvaluationSpec.from_json(handle.read())
+
+
+@pytest.fixture(scope="module")
+def golden_report():
+    with open(os.path.join(DATA_DIR, "golden_report.json")) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def actual(golden_spec):
+    result = Scheduler().run(golden_spec)
+    data = result.to_dict()
+    data.pop("telemetry", None)  # wall times are machine-dependent
+    # Round-trip through JSON so float representation matches what
+    # the fixture file stores (a no-op for IEEE doubles, but it makes
+    # the comparison an honest serialization check too).
+    return json.loads(json.dumps(data, sort_keys=True))
+
+
+class TestGoldenReport:
+    def test_spec_fixture_is_valid_and_round_trips(self, golden_spec):
+        assert golden_spec.job_count() == 30
+        assert EvaluationSpec.from_json(golden_spec.to_json()) == golden_spec
+
+    def test_no_sample_drift(self, actual, golden_report):
+        assert actual["samples"] == golden_report["samples"]
+
+    def test_no_score_drift(self, actual, golden_report):
+        assert actual["scores"] == golden_report["scores"]
+
+    def test_no_statistics_drift(self, actual, golden_report):
+        assert actual["statistics"] == golden_report["statistics"]
+
+    def test_no_new_or_dropped_export_fields(self, actual, golden_report):
+        """A new top-level export key must be added to the fixture
+        deliberately (regen script), not slipped in silently."""
+        assert actual == golden_report

@@ -66,13 +66,48 @@ class TestEvaluate:
         assert "sun-atm-lan/end-user" in out
         assert "simulations" in out
         data = json.loads(path.read_text())
-        assert set(data) == {"spec", "samples", "scores"}
+        assert set(data) == {"spec", "samples", "scores", "statistics", "telemetry"}
+        assert data["telemetry"]["summary"]["simulated"] == len(data["samples"])
 
     @pytest.mark.slow
     def test_full_evaluation_runs(self, capsys):
         assert main(["evaluate", "--platform", "sun-atm-lan", "--processors", "2"]) == 0
         out = capsys.readouterr().out
         assert "Best tool" in out
+
+    def test_shards_without_cache_dir_is_harmless(self, capsys):
+        """--shards only shapes --cache-dir; alone it must not break
+        argument validation."""
+        assert main(["evaluate", "--platform", "bogus", "--shards", "4"]) == 2
+
+    @pytest.mark.slow
+    def test_cache_dir_resume_simulates_nothing(self, capsys, tmp_path):
+        """The acceptance path end to end: a second launch with the
+        same --cache-dir re-simulates zero jobs."""
+        cache_dir = str(tmp_path / "cache")
+        argv = ["evaluate", "--tools", "p4", "--processors", "2",
+                "--profile", "balanced", "end-user", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "%s: 0 simulated" % cache_dir not in first
+        assert "served from disk" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 simulations scored" in second
+        assert "%s: 0 simulated" % cache_dir in second
+
+    @pytest.mark.slow
+    def test_seeds_and_stats_report_confidence_intervals(self, capsys, tmp_path):
+        """--seeds replicates the sweep; --stats aggregates it to
+        mean ±95% CI per cell."""
+        assert main(["evaluate", "--tools", "p4", "--processors", "2",
+                     "--seeds", "0", "1", "2", "--stats",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "mean ±95% CI over 3 seeds" in out
+        assert "±" in out
+        assert "sun-ethernet/balanced" in out
 
 
 class TestNoCommand:
