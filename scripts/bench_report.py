@@ -1,0 +1,110 @@
+"""Compare a BENCH_*.json run against a committed baseline.
+
+The benchmark scripts record absolute wall-clock metrics; this tool
+turns two such files into a regression report.  For now regressions
+*warn* (exit 0) rather than fail — CI hardware is noisy and the
+trajectory is young — but ``--strict`` is there for the day the floor
+should hold.  Usage::
+
+    python scripts/bench_report.py BENCH_kernel.json \
+        --baseline benchmarks/data/BENCH_kernel_baseline.json \
+        [--tolerance 0.25] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Metric paths where *larger* is better; everything else numeric is a
+#: wall-clock style metric where smaller is better.
+HIGHER_IS_BETTER = ("events_per_sec", "speedup", "amortization_ratio",
+                    "mbytes_per_sec")
+
+IGNORED_KEYS = {"python", "machine", "quick", "passes", "benchmark"}
+
+
+def flatten(prefix, node, out):
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            if key in IGNORED_KEYS:
+                continue
+            flatten(prefix + (key,), value, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[".".join(prefix)] = float(node)
+    return out
+
+
+def higher_is_better(path):
+    return any(path.endswith(marker) for marker in HIGHER_IS_BETTER)
+
+
+def compare(current, baseline, tolerance):
+    """Yield (path, base, now, ratio, status) for every shared metric.
+
+    ``ratio`` > 1 always means "better than baseline"; a metric is a
+    regression when it is worse by more than ``tolerance``.
+    """
+    current = flatten((), current, {})
+    baseline = flatten((), baseline, {})
+    for path in sorted(set(current) & set(baseline)):
+        base, now = baseline[path], current[path]
+        if base <= 0 or now <= 0:
+            ratio = float("nan")
+        elif higher_is_better(path):
+            ratio = now / base
+        else:
+            ratio = base / now
+        status = "ok"
+        if ratio == ratio and ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+        elif ratio == ratio and ratio > 1.0 + tolerance:
+            status = "improved"
+        yield path, base, now, ratio, status
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly written BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="fractional slack before a metric counts as "
+                             "regressed (default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions instead of warning")
+    args = parser.parse_args(argv)
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    rows = list(compare(current, baseline, args.tolerance))
+    if not rows:
+        print("no shared numeric metrics between %s and %s"
+              % (args.current, args.baseline))
+        return 0
+
+    width = max(len(path) for path, *_ in rows)
+    print("%-*s %14s %14s %8s  %s"
+          % (width, "metric", "baseline", "current", "ratio", "status"))
+    regressions = 0
+    for path, base, now, ratio, status in rows:
+        if status == "REGRESSION":
+            regressions += 1
+        print("%-*s %14.6g %14.6g %7.2fx  %s"
+              % (width, path, base, now, ratio, status))
+
+    if regressions:
+        print("\n%d metric(s) regressed beyond %.0f%% tolerance"
+              % (regressions, args.tolerance * 100)
+              + ("" if args.strict else " (warning only)"))
+        return 1 if args.strict else 0
+    print("\nno regressions beyond %.0f%% tolerance" % (args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,13 +92,15 @@ def run_evaluation(
     """
     from repro.core.scheduler import Scheduler, create_executor
 
-    scheduler = Scheduler(
+    # Context-manage the scheduler: its process-pool executor keeps a
+    # persistent worker pool, which must not outlive this call.
+    with Scheduler(
         executor=create_executor(jobs),
         cache=cache,
         cache_dir=cache_dir,
         shards=shards,
-    )
-    result_set = scheduler.run(spec)
+    ) as scheduler:
+        result_set = scheduler.run(spec)
     if echo:
         print(result_set.comparison(stats=stats))
     return result_set

@@ -70,7 +70,10 @@ caching & statistics:
                           help="replicate the sweep under several seeds "
                                "(overrides --seed; enables --stats)")
     evaluate.add_argument("--jobs", type=int, default=1,
-                          help="worker processes for the simulations (default 1)")
+                          help="worker processes for the simulations "
+                               "(default 1); the pool starts once and is "
+                               "reused across every scheduler pass of the "
+                               "run")
     evaluate.add_argument("--cache-dir", metavar="DIR", default=None,
                           help="persistent measurement cache: interrupted "
                                "sweeps resume, repeated sweeps re-simulate "
@@ -142,12 +145,14 @@ def _cmd_evaluate(args) -> int:
             profiles=tuple(args.profile),
             seeds=seeds,
         )
-        scheduler = Scheduler(
+        # The scheduler's context manager shuts the (persistent,
+        # reused-across-passes) worker pool down when the run is over.
+        with Scheduler(
             executor=create_executor(args.jobs),
             cache_dir=args.cache_dir,
             shards=args.shards,
-        )
-        result_set = scheduler.run(spec)
+        ) as scheduler:
+            result_set = scheduler.run(spec)
     except ReproError as error:
         print("error: %s" % error)
         return 2

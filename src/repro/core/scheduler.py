@@ -23,8 +23,9 @@ provenance alongside samples.
 from __future__ import annotations
 
 import concurrent.futures
-import functools
+import itertools
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
@@ -79,11 +80,17 @@ class JobTelemetry:
         }
 
 
+def execute_job_chunk(jobs: Sequence[MeasurementJob], retries: int = 1) -> List[JobOutcome]:
+    """Run a chunk of jobs in one worker round-trip (module-level so it
+    pickles into :mod:`concurrent.futures` worker processes)."""
+    return [execute_job_instrumented(job, retries) for job in jobs]
+
+
 def execute_job_instrumented(job: MeasurementJob, retries: int = 1) -> JobOutcome:
     """Run one job, timing it and retrying transient failures.
 
-    Module-level (and called via :func:`functools.partial`) so it
-    pickles into :mod:`concurrent.futures` worker processes.
+    Module-level so it pickles into :mod:`concurrent.futures` worker
+    processes.
     """
     if retries < 1:
         raise EvaluationError("retries must be >= 1")
@@ -106,11 +113,11 @@ class SerialExecutor(object):
 
     name = "serial"
 
-    def run(self, jobs: Sequence[MeasurementJob]) -> List[Optional[float]]:
+    def run(self, jobs: Iterable[MeasurementJob]) -> List[Optional[float]]:
         return [execute_job(job) for job in jobs]
 
     def run_instrumented(
-        self, jobs: Sequence[MeasurementJob], retries: int = 1
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
     ) -> Iterator[JobOutcome]:
         # A generator, deliberately: the scheduler persists each
         # outcome as it arrives, so a killed sweep keeps every job it
@@ -126,6 +133,14 @@ class ProcessPoolExecutor(object):
     wrapper over :class:`concurrent.futures.ProcessPoolExecutor`;
     result order matches job order.
 
+    The underlying pool is created lazily on the first batch and
+    **reused across calls**: repeated ``run``/``run_instrumented``
+    passes (the common shape under sweep traffic — one ``Scheduler.run``
+    per spec) pay worker startup once, not once per pass.  Call
+    :meth:`close` (or use the executor as a context manager) to shut
+    the workers down; an executor left open is reclaimed at
+    interpreter exit.
+
     Tools registered at run time (:func:`repro.tools.registry.register_tool`)
     reach workers only on fork-based platforms (Linux): under the
     ``spawn`` start method (macOS/Windows) each worker re-imports the
@@ -135,31 +150,88 @@ class ProcessPoolExecutor(object):
 
     name = "process-pool"
 
+    #: Jobs shipped per worker round-trip in :meth:`run_instrumented`
+    #: (IPC amortization without delaying result streaming much).
+    chunk_jobs = 4
+
+    #: Chunks kept in flight per worker: deep enough that no worker
+    #: idles while results stream back, shallow enough that a huge
+    #: grid never materializes on this side.
+    window_factor = 4
+
     def __init__(self, max_workers: int = 2) -> None:
         if max_workers < 1:
             raise EvaluationError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
-    def run(self, jobs: Sequence[MeasurementJob]) -> List[Optional[float]]:
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+        return self._pool
+
+    def _chunksize(self, njobs: int) -> int:
+        """IPC amortization: aim for ~4 chunks per worker, capped so a
+        straggler chunk cannot idle the rest of the pool for long."""
+        return max(1, min(32, njobs // (self.max_workers * 4)))
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def run(self, jobs: Iterable[MeasurementJob]) -> List[Optional[float]]:
+        jobs = list(jobs)
         if not jobs:
             return []
-        workers = min(self.max_workers, len(jobs))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_job, jobs))
+        pool = self._ensure_pool()
+        try:
+            return list(
+                pool.map(execute_job, jobs, chunksize=self._chunksize(len(jobs)))
+            )
+        except concurrent.futures.BrokenExecutor:
+            # A dead worker poisons the whole pool: drop it so the
+            # next pass starts fresh instead of failing forever.
+            self.close()
+            raise
 
     def run_instrumented(
-        self, jobs: Sequence[MeasurementJob], retries: int = 1
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
     ) -> Iterator[JobOutcome]:
-        # Streams results as ``pool.map`` yields them (in job order),
-        # so the scheduler persists finished work while later jobs
-        # are still simulating.
-        if not jobs:
-            return
-        worker = functools.partial(execute_job_instrumented, retries=retries)
-        workers = min(self.max_workers, len(jobs))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            for outcome in pool.map(worker, jobs):
-                yield outcome
+        # Streams results in job order while the pool keeps working:
+        # chunks of jobs are submitted through a sliding window (no
+        # barrier — as each oldest chunk's results are yielded, fresh
+        # chunks are consumed from the (possibly lazy) iterable), so
+        # the scheduler persists finished work while later jobs are
+        # still simulating and a huge grid never materializes here.
+        jobs = iter(jobs)
+        in_flight: deque = deque()
+        window = self.max_workers * self.window_factor
+        try:
+            while True:
+                while len(in_flight) < window:
+                    chunk = list(itertools.islice(jobs, self.chunk_jobs))
+                    if not chunk:
+                        break
+                    in_flight.append(
+                        self._ensure_pool().submit(execute_job_chunk, chunk, retries)
+                    )
+                if not in_flight:
+                    return
+                for outcome in in_flight.popleft().result():
+                    yield outcome
+        except concurrent.futures.BrokenExecutor:
+            self.close()
+            raise
 
 
 def create_executor(jobs: int = 1):
@@ -233,50 +305,92 @@ class Scheduler(object):
     def executor_name(self) -> str:
         return getattr(self.executor, "name", type(self.executor).__name__)
 
-    def _execute(self, pending: List[MeasurementJob]) -> Iterator[JobOutcome]:
+    def _execute(self, pending: Iterable[MeasurementJob]) -> Iterator[JobOutcome]:
         runner = getattr(self.executor, "run_instrumented", None)
         if runner is not None:
             return iter(runner(pending, retries=self.retries))
-        # Plain `run(jobs)` executors predate telemetry: samples come
-        # back untimed, so wall_seconds is honestly unknown.
+        # Plain `run(jobs)` executors predate telemetry (and streaming):
+        # hand them a real list; samples come back untimed, so
+        # wall_seconds is honestly unknown.
         return iter(
-            JobOutcome(value, None, 1) for value in self.executor.run(pending)
+            JobOutcome(value, None, 1) for value in self.executor.run(list(pending))
         )
 
     def run_jobs(
         self, jobs: Iterable[MeasurementJob]
     ) -> Dict[MeasurementJob, Optional[float]]:
-        """Samples for ``jobs``, simulating only what the cache lacks."""
-        jobs = list(jobs)
-        pending = []
+        """Samples for ``jobs``, simulating only what the cache lacks.
+
+        ``jobs`` may be any iterable — in particular a streaming spec
+        expansion (:meth:`EvaluationSpec.iter_jobs`).  It is consumed
+        lazily: cache hits resolve during the scan and misses flow
+        straight into the executor, so a huge grid never materializes
+        as a full job list on this side.
+        """
+        results: Dict[MeasurementJob, Optional[float]] = {}
+        in_flight: deque = deque()
         seen = set()
-        for job in jobs:
-            if job in seen:
-                continue
-            seen.add(job)
-            if self.cache.lookup(job) is MISSING:
-                pending.append(job)
-            else:
-                self.telemetry[job] = JobTelemetry(
-                    job, self.executor_name, True, 0.0, 0
-                )
+
+        def misses() -> Iterator[MeasurementJob]:
+            for job in jobs:
+                if job in seen:
+                    continue
+                seen.add(job)
+                value = self.cache.lookup(job)
+                if value is MISSING:
+                    # Reserve the job's slot now so the result dict
+                    # keeps first-occurrence order (exports iterate it).
+                    results[job] = None
+                    in_flight.append(job)
+                    yield job
+                else:
+                    results[job] = value
+                    self.telemetry[job] = JobTelemetry(
+                        job, self.executor_name, True, 0.0, 0
+                    )
+
         # Store each outcome as the executor yields it: a sweep killed
         # (or crashed) mid-batch keeps every job it finished, which is
         # what makes --cache-dir resume skip all completed work.
-        for job, outcome in zip(pending, self._execute(pending)):
+        for outcome in self._execute(misses()):
+            if not in_flight:
+                raise EvaluationError(
+                    "executor %s returned more outcomes than jobs"
+                    % self.executor_name
+                )
+            job = in_flight.popleft()
             self.cache.store(job, outcome.value)
             self.telemetry[job] = JobTelemetry(
                 job, self.executor_name, False, outcome.wall_seconds, outcome.attempts
             )
             self.simulations_run += 1
-        return {job: self.cache.peek(job) for job in jobs}
+            results[job] = outcome.value
+        if in_flight:
+            raise EvaluationError(
+                "executor %s returned %d outcome(s) too few"
+                % (self.executor_name, len(in_flight))
+            )
+        return results
 
     def run(self, spec):
         """Run a whole spec and wrap the samples in a ResultSet."""
         from repro.core.results import ResultSet
 
-        values = self.run_jobs(spec.jobs())
+        expand = getattr(spec, "iter_jobs", spec.jobs)
+        values = self.run_jobs(expand())
         telemetry = {
             job: self.telemetry[job] for job in values if job in self.telemetry
         }
         return ResultSet(spec, values, telemetry=telemetry)
+
+    def close(self) -> None:
+        """Release executor resources (a persistent worker pool, if any)."""
+        close = getattr(self.executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.jobs import (
     MeasurementJob,
@@ -205,18 +205,27 @@ class EvaluationSpec:
                 )
         return jobs
 
+    def iter_jobs(self) -> Iterator[MeasurementJob]:
+        """Stream the grid's jobs in report order, cell by cell.
+
+        The scheduler consumes this lazily, so a huge sweep grid never
+        materializes as one flat job list — only the current
+        (platform, seed) cell's jobs exist at a time.
+        """
+        for platform in self.platforms:
+            for seed in self.seeds:
+                for job in self.tpl_jobs(platform, seed):
+                    yield job
+                for job in self.apl_jobs(platform, seed):
+                    yield job
+
     def jobs(self) -> List[MeasurementJob]:
         """The flat job list covering the whole grid (may contain
         duplicates only if axes overlap, which validation forbids)."""
-        jobs = []
-        for platform in self.platforms:
-            for seed in self.seeds:
-                jobs.extend(self.tpl_jobs(platform, seed))
-                jobs.extend(self.apl_jobs(platform, seed))
-        return jobs
+        return list(self.iter_jobs())
 
     def job_count(self) -> int:
-        return len(self.jobs())
+        return sum(1 for _ in self.iter_jobs())
 
     def cells(self) -> List[Tuple[str, WeightProfile, int]]:
         """Every (platform, profile, seed) report the spec describes."""

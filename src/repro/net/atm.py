@@ -77,15 +77,9 @@ class AtmLan(Network):
         stream_time = self.cell_stream_seconds(nbytes)
         # Hold the sender's output port and the receiver's input port
         # for the duration of the stream; the switch core never blocks.
-        out_claim = self._out_ports[src].request()
-        yield out_claim
-        in_claim = self._in_ports[dst].request()
-        yield in_claim
-        try:
-            yield self.env.timeout(stream_time)
-        finally:
-            self._out_ports[src].release(out_claim)
-            self._in_ports[dst].release(in_claim)
+        yield from self._stream_through_ports(
+            self._out_ports[src], self._in_ports[dst], stream_time
+        )
         yield self.env.timeout(self.switch_latency_seconds + self.propagation_seconds)
         wire_total = cells_for(nbytes) * _CELL_BYTES
         self._record(src, dst, nbytes, wire_total, stream_time)

@@ -12,11 +12,10 @@ declared here.
 
 from __future__ import annotations
 
-import math
 from typing import Iterator, Optional
 
 from repro.errors import NetworkError
-from repro.sim import Environment, NullTracer, Tracer
+from repro.sim import Environment, Event, NullTracer, Resource, Tracer
 
 __all__ = ["FrameFormat", "NetworkStats", "Network"]
 
@@ -43,10 +42,22 @@ class FrameFormat(object):
         )
 
     def frame_count(self, nbytes: int) -> int:
-        """Number of frames needed for an ``nbytes`` message (min 1)."""
+        """Number of frames needed for an ``nbytes`` message (min 1).
+
+        Pure integer ceiling division, so the count always agrees with
+        :meth:`frame_payloads` even for messages too large for exact
+        float division.
+        """
         if nbytes <= 0:
             return 1
-        return int(math.ceil(nbytes / float(self.payload_bytes)))
+        return -(-int(nbytes) // self.payload_bytes)
+
+    def last_frame_payload(self, nbytes: int) -> int:
+        """Payload carried by the final frame of an ``nbytes`` message."""
+        if nbytes <= 0:
+            return 0
+        remainder = int(nbytes) % self.payload_bytes
+        return remainder if remainder else self.payload_bytes
 
     def frame_payloads(self, nbytes: int) -> Iterator[int]:
         """Yield the payload size of each successive frame."""
@@ -64,8 +75,19 @@ class FrameFormat(object):
         return max(payload + self.overhead_bytes, self.min_wire_bytes)
 
     def total_wire_bytes(self, nbytes: int) -> int:
-        """Bytes on the wire for a whole ``nbytes`` message."""
-        return sum(self.wire_bytes(p) for p in self.frame_payloads(nbytes))
+        """Bytes on the wire for a whole ``nbytes`` message.
+
+        Closed form: every frame but the last carries a full payload,
+        so the O(frames) generator sum reduces to O(1) arithmetic.
+        (Integer sums are associative, so this is exactly the
+        per-frame sum — the property tests assert it.)
+        """
+        if nbytes <= 0:
+            return self.wire_bytes(0)
+        frames = self.frame_count(nbytes)
+        return (frames - 1) * self.wire_bytes(self.payload_bytes) + self.wire_bytes(
+            self.last_frame_payload(nbytes)
+        )
 
 
 class NetworkStats(object):
@@ -177,3 +199,163 @@ class Network(object):
             wire_bytes=wire_bytes,
             busy=busy,
         )
+
+    # ------------------------------------------------------------------
+    # Shared transfer engines
+    #
+    # Every medium's ``transfer`` is some composition of three shapes:
+    # a per-frame claim/transmit loop over an exclusive medium
+    # (Ethernet), a single hold of one resource for a stream (FDDI's
+    # token), or a hold of an (output port, input port) pair (ATM, the
+    # Allnode crossbar).  The helpers below implement those shapes once
+    # — and give the per-frame loop a *bulk fast path*: while nobody
+    # else wants the medium, a run of frames collapses into a single
+    # scheduled event instead of a claim/timeout cycle per frame.
+    # ------------------------------------------------------------------
+
+    def _coalesced_frames(self, medium: Resource, nbytes: int, backoff_rng=None,
+                          max_backoff: float = 0.0):
+        """Transmit ``nbytes`` frame by frame over exclusive ``medium``.
+
+        Generator; returns ``(wire_total, busy_total)`` once the last
+        frame has left the wire (the caller charges propagation and
+        records stats).  Requires ``self.frame_format`` and
+        ``self.frame_seconds``.
+
+        Fast path: whenever the medium is granted with nobody queued
+        behind us — so no seeded backoff draw can occur and no rival
+        is owed an interleaving slot — the remaining frames coalesce
+        into one closed-form hold.  A contention watcher wakes the
+        hold the moment another claimant queues; we then finish the
+        frame in flight and fall back to the exact per-frame path, so
+        rivals acquire the medium at precisely the timestamps they
+        would have today.
+
+        Timestamps stay bit-identical to the per-frame loop because
+        the coalesced target is produced by the *same* left-to-right
+        float accumulation the per-frame clock performs, and is
+        scheduled at that absolute time (:meth:`Environment.timeout_until`)
+        rather than via a relative delay.
+        """
+        env = self.env
+        frames = self.frame_format.frame_count(nbytes)
+        full_seconds = self.frame_seconds(self.frame_format.payload_bytes)
+        last_seconds = self.frame_seconds(self.frame_format.last_frame_payload(nbytes))
+        wire_total = self.frame_format.total_wire_bytes(nbytes)
+        busy_total = 0.0
+        sent = 0
+        while sent < frames:
+            claim = medium.request()
+            try:
+                yield claim
+                if medium.queue_length > 0:
+                    # Contended: the exact per-frame path for this
+                    # frame (a seeded backoff draw may apply here, so
+                    # coalescing would change RNG consumption).
+                    if backoff_rng is not None:
+                        yield env.timeout(backoff_rng.uniform(0.0, max_backoff))
+                    frame_time = full_seconds if sent < frames - 1 else last_seconds
+                    yield env.timeout(frame_time)
+                    busy_total += frame_time
+                    sent += 1
+                else:
+                    # Uncontended: coalesce every remaining frame.
+                    started = env.now
+                    target = started
+                    for index in range(sent, frames):
+                        target += full_seconds if index < frames - 1 else last_seconds
+                    if (yield from self._hold_uncontended(medium, target)):
+                        done = frames - sent
+                    else:
+                        # A rival queued mid-hold.  Walk the per-frame
+                        # boundary accumulation to the frame in
+                        # flight, finish it, then yield the medium.
+                        done = 0
+                        boundary = started
+                        while sent + done < frames:
+                            step = (full_seconds if sent + done < frames - 1
+                                    else last_seconds)
+                            if boundary + step <= env.now:
+                                boundary += step
+                                done += 1
+                            else:
+                                break
+                        if (boundary < env.now or done == 0) and sent + done < frames:
+                            # A frame is on the wire: hold until its
+                            # per-frame end.  That is so strictly
+                            # inside a frame, and also at the hold's
+                            # very start (the per-frame path schedules
+                            # the first frame's timeout before a
+                            # same-instant rival event can run).  A
+                            # rival landing float-exactly on a *later*
+                            # frame boundary finds no frame started —
+                            # release immediately, as the per-frame
+                            # path grants a rival that was already
+                            # waiting when the frame ended.
+                            boundary += (full_seconds if sent + done < frames - 1
+                                         else last_seconds)
+                            yield env.timeout_until(boundary)
+                            done += 1
+                    for index in range(sent, sent + done):
+                        busy_total += full_seconds if index < frames - 1 else last_seconds
+                    sent += done
+            finally:
+                medium.release(claim)
+        return wire_total, busy_total
+
+    def _hold_uncontended(self, resource: Resource, until_time: float):
+        """Hold the already-claimed ``resource`` until ``until_time``.
+
+        Generator; wakes early the moment another claimant queues on
+        ``resource``.  Returns True if the hold ran to ``until_time``
+        undisturbed, False if contention cut it short.
+        """
+        env = self.env
+        if until_time <= env.now:
+            return True
+        contended = Event(env)
+
+        def notice(_request, _contended=contended):
+            if not _contended.triggered:
+                _contended.succeed()
+
+        resource.watch_contention(notice)
+        expiry = env.timeout_until(until_time)
+        try:
+            yield env.any_of((expiry, contended))
+        finally:
+            resource.unwatch_contention(notice)
+        return expiry.processed
+
+    def _hold_for(self, resource: Resource, *delays: float):
+        """Claim ``resource``, sleep through ``delays`` in order, release.
+
+        Generator.  The single-resource stream shape (FDDI's token):
+        identical event sequence to an inline ``with request()`` block.
+        """
+        claim = resource.request()
+        try:
+            yield claim
+            for delay in delays:
+                yield self.env.timeout(delay)
+        finally:
+            resource.release(claim)
+
+    def _stream_through_ports(self, out_port: Resource, in_port: Resource,
+                              stream_seconds: float):
+        """Hold the (sender output, receiver input) port pair for one stream.
+
+        Generator.  The switched-fabric shape (ATM, Allnode): ports are
+        acquired in output-then-input order and both released — output
+        first, so rival grants fire in the established order — when the
+        stream's wire time has elapsed.
+        """
+        out_claim = out_port.request()
+        yield out_claim
+        in_claim = in_port.request()
+        yield in_claim
+        try:
+            yield self.env.timeout(stream_seconds)
+        finally:
+            out_port.release(out_claim)
+            in_port.release(in_claim)

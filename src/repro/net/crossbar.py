@@ -54,15 +54,9 @@ class AllnodeSwitch(Network):
         self.validate_endpoints(src, dst)
         start = self.env.now
         stream_time = self.stream_seconds(nbytes)
-        out_claim = self._out_ports[src].request()
-        yield out_claim
-        in_claim = self._in_ports[dst].request()
-        yield in_claim
-        try:
-            yield self.env.timeout(stream_time)
-        finally:
-            self._out_ports[src].release(out_claim)
-            self._in_ports[dst].release(in_claim)
+        yield from self._stream_through_ports(
+            self._out_ports[src], self._in_ports[dst], stream_time
+        )
         yield self.env.timeout(self.switch_latency_seconds + self.propagation_seconds)
         wire_total = self.frame_format.total_wire_bytes(nbytes)
         self._record(src, dst, nbytes, wire_total, stream_time)

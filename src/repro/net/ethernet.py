@@ -73,22 +73,20 @@ class Ethernet(Network):
         return self.frame_format.wire_bytes(payload) * 8.0 / self.rate_bps
 
     def transfer(self, src: int, dst: int, nbytes: int):
-        """Send ``nbytes`` from ``src`` to ``dst`` frame by frame."""
+        """Send ``nbytes`` from ``src`` to ``dst`` frame by frame.
+
+        Runs of frames on an idle segment coalesce into single bulk
+        holds (:meth:`Network._coalesced_frames`); the moment another
+        host queues for the wire — when collisions and seeded backoff
+        become possible — transmission falls back to the exact
+        per-frame claim/backoff/transmit cycle.
+        """
         self.validate_endpoints(src, dst)
         start = self.env.now
-        wire_total = 0
-        busy_total = 0.0
-        for payload in self.frame_format.frame_payloads(nbytes):
-            with self._medium.request() as claim:
-                yield claim
-                if self._backoff_rng is not None and self._medium.queue_length > 0:
-                    # Someone else is already waiting: collisions would
-                    # have occurred; add a seeded backoff penalty.
-                    yield self.env.timeout(self._backoff_rng.uniform(0.0, self._max_backoff))
-                frame_time = self.frame_seconds(payload)
-                yield self.env.timeout(frame_time)
-            wire_total += self.frame_format.wire_bytes(payload)
-            busy_total += frame_time
+        wire_total, busy_total = yield from self._coalesced_frames(
+            self._medium, nbytes,
+            backoff_rng=self._backoff_rng, max_backoff=self._max_backoff,
+        )
         yield self.env.timeout(self.propagation_seconds)
         self._record(src, dst, nbytes, wire_total, busy_total)
         return self.env.now - start

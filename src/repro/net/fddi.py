@@ -67,10 +67,7 @@ class FddiRing(Network):
         start = self.env.now
         wire_total = self.frame_format.total_wire_bytes(nbytes)
         busy_total = wire_total * 8.0 / self.rate_bps
-        with self._token.request() as claim:
-            yield claim
-            yield self.env.timeout(self.token_latency_seconds)
-            yield self.env.timeout(busy_total)
+        yield from self._hold_for(self._token, self.token_latency_seconds, busy_total)
         yield self.env.timeout(self.propagation_seconds)
         self._record(src, dst, nbytes, wire_total, busy_total)
         return self.env.now - start

@@ -30,6 +30,7 @@ from repro.sim.events import (
     PENDING,
     Priority,
     Timeout,
+    TimeoutUntil,
 )
 from repro.sim.kernel import Environment, Infinity
 from repro.sim.process import Process
@@ -56,6 +57,7 @@ __all__ = [
     "Resource",
     "Store",
     "Timeout",
+    "TimeoutUntil",
     "TraceRecord",
     "Tracer",
     "derive_seed",

@@ -25,6 +25,7 @@ __all__ = [
     "Priority",
     "Event",
     "Timeout",
+    "TimeoutUntil",
     "Initialize",
     "ConditionValue",
     "Condition",
@@ -163,14 +164,44 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError("negative delay %r" % (delay,))
-        super(Timeout, self).__init__(env)
-        self.delay = delay
-        self._ok = True
+        # A Timeout is born triggered, and this constructor is the
+        # kernel's hottest allocation site: set the Event fields
+        # directly instead of dispatching through Event.__init__ and
+        # then overwriting half of them.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
         return "<Timeout(%s) at 0x%x>" % (self.delay, id(self))
+
+
+class TimeoutUntil(Event):
+    """An event that fires at an absolute simulation time.
+
+    The network fast path coalesces many per-frame timeouts into one
+    event whose pop time must hit an exact float target: scheduling
+    ``at`` directly sidesteps the ``now + (at - now)`` round-trip,
+    which is not an identity in floating point.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, env: "Environment", at: float, value: Any = None) -> None:  # noqa: F821
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._defused = False
+        self.at = at
+        env.schedule_at(self, at)
+
+    def __repr__(self) -> str:
+        return "<TimeoutUntil(%s) at 0x%x>" % (self.at, id(self))
 
 
 class Initialize(Event):

@@ -19,6 +19,7 @@ from repro.sim.events import (
     Priority,
     StopSimulation,
     Timeout,
+    TimeoutUntil,
 )
 from repro.sim.process import Process
 
@@ -26,6 +27,12 @@ __all__ = ["Environment", "Infinity"]
 
 #: Convenience alias used for "run forever" bounds.
 Infinity = float("inf")
+
+# Pre-bound heap primitives: the run loop touches these once per event,
+# so shaving the module-attribute lookups is measurable at the millions
+# of events a sweep schedules.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class Environment(object):
@@ -51,7 +58,8 @@ class Environment(object):
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
-        self._eid = count()
+        # Bound method: schedule() calls this once per event.
+        self._eid = count().__next__
         self._active_proc: Optional[Process] = None
 
     def __repr__(self) -> str:
@@ -79,6 +87,16 @@ class Environment(object):
         """Create an event that fires after ``delay`` seconds."""
         return Timeout(self, delay, value)
 
+    def timeout_until(self, at: float, value: Any = None) -> TimeoutUntil:
+        """Create an event that fires at the absolute time ``at``.
+
+        Unlike ``timeout(at - now)``, the event pops at exactly ``at``:
+        there is no float round-trip through a relative delay.  The
+        network fast path relies on this to keep coalesced timestamps
+        bit-identical to the per-frame accumulation they replace.
+        """
+        return TimeoutUntil(self, at, value)
+
     def process(self, generator: Generator) -> Process:
         """Start a new process running ``generator``."""
         return Process(self, generator)
@@ -102,7 +120,20 @@ class Environment(object):
         priority: int = Priority.NORMAL,
     ) -> None:
         """Queue ``event`` to be processed after ``delay`` seconds."""
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        _heappush(self._queue, (self._now + delay, priority, self._eid(), event))
+
+    def schedule_at(
+        self,
+        event: Event,
+        at: float,
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Queue ``event`` to be processed at the absolute time ``at``."""
+        if at < self._now:
+            raise ValueError(
+                "cannot schedule at %s: it is before the current time %s" % (at, self._now)
+            )
+        _heappush(self._queue, (at, priority, self._eid(), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -120,7 +151,7 @@ class Environment(object):
         """
         if not self._queue:
             raise RuntimeError("no scheduled events: simulation is exhausted")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = _heappop(self._queue)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -158,9 +189,23 @@ class Environment(object):
                         % (stop_at, self._now)
                     )
 
+        # The hot loop: step() inlined, with the queue and heappop held
+        # in locals.  Per-event peek()/step() calls and their attribute
+        # lookups cost more than the heap work itself at the millions
+        # of events a sweep processes.
+        queue = self._queue
+        pop = _heappop
         try:
-            while self._queue and self.peek() < stop_at:
-                self.step()
+            while queue and queue[0][0] < stop_at:
+                self._now, _, _, event = pop(queue)
+
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+
+                if not event._ok and not event._defused:
+                    # An un-handled failure must not pass silently.
+                    raise event._value
         except StopSimulation as exc:
             return exc.args[0]
 

@@ -74,6 +74,7 @@ class Resource(object):
         self._capacity = int(capacity)
         self._users: List[Request] = []
         self._waiters: Deque[Request] = deque()
+        self._contention_watchers: List[Callable[[Request], None]] = []
 
     def __repr__(self) -> str:
         return "<Resource capacity=%d users=%d queued=%d>" % (
@@ -100,6 +101,24 @@ class Resource(object):
         """Claim one unit; the returned event fires when granted."""
         return Request(self)
 
+    def watch_contention(self, callback: Callable[[Request], None]) -> None:
+        """Invoke ``callback(request)`` whenever a request must queue.
+
+        This is the hook the network fast path uses to coalesce long
+        uncontended holds: the holder sleeps through one closed-form
+        timeout and is woken the instant a rival claimant arrives, so
+        it can yield the resource exactly where the per-claim path
+        would have.  Watchers fire synchronously inside ``request()``.
+        """
+        self._contention_watchers.append(callback)
+
+    def unwatch_contention(self, callback: Callable[[Request], None]) -> None:
+        """Remove a watcher added by :meth:`watch_contention`."""
+        try:
+            self._contention_watchers.remove(callback)
+        except ValueError:
+            pass
+
     def release(self, request: Request) -> Release:
         """Return a previously granted claim.
 
@@ -120,6 +139,9 @@ class Resource(object):
             request.succeed()
         else:
             self._waiters.append(request)
+            if self._contention_watchers:
+                for callback in tuple(self._contention_watchers):
+                    callback(request)
 
     def _grant_next(self) -> None:
         while self._waiters and len(self._users) < self._capacity:

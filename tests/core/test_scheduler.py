@@ -74,8 +74,127 @@ class TestExecutors:
         """Simulations are deterministic, so the backend is invisible."""
         spec = tiny_spec(tools=("p4", "express"))
         serial = Scheduler(executor=SerialExecutor()).run(spec)
-        parallel = Scheduler(executor=ProcessPoolExecutor(max_workers=2)).run(spec)
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            parallel = Scheduler(executor=executor).run(spec)
         assert parallel.values == serial.values
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_passes(self):
+        """Repeated run calls must not pay process startup again."""
+        executor = ProcessPoolExecutor(max_workers=2)
+        try:
+            spec_a = tiny_spec(tools=("p4",))
+            spec_b = tiny_spec(tools=("express",))
+            Scheduler(executor=executor).run(spec_a)
+            pool = executor._pool
+            assert pool is not None
+            Scheduler(executor=executor).run(spec_b)
+            assert executor._pool is pool
+        finally:
+            executor.close()
+
+    def test_close_is_idempotent_and_allows_restart(self):
+        executor = ProcessPoolExecutor(max_workers=2)
+        jobs = tiny_spec(tools=("p4",)).jobs()[:2]
+        first = executor.run(jobs)
+        executor.close()
+        assert executor._pool is None
+        executor.close()  # no-op
+        # A closed executor lazily builds a fresh pool on reuse.
+        assert executor.run(jobs) == first
+        executor.close()
+
+    def test_context_manager_shuts_down(self):
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            executor.run(tiny_spec(tools=("p4",)).jobs()[:2])
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_scheduler_close_reaches_executor(self):
+        with Scheduler(executor=ProcessPoolExecutor(max_workers=2)) as scheduler:
+            scheduler.run_jobs(tiny_spec(tools=("p4",)).jobs()[:2])
+            assert scheduler.executor._pool is not None
+        assert scheduler.executor._pool is None
+
+    def test_chunksize_bounds(self):
+        executor = ProcessPoolExecutor(max_workers=4)
+        assert executor._chunksize(1) == 1
+        assert executor._chunksize(15) == 1
+        assert executor._chunksize(160) == 10
+        assert executor._chunksize(10**6) == 32  # capped
+
+    def test_broken_pool_is_dropped_not_reused(self):
+        """A pool poisoned by a dead worker must not be served again:
+        the failing pass raises, the next pass gets a fresh pool."""
+        import concurrent.futures
+
+        class BrokenPool(object):
+            def map(self, *args, **kwargs):
+                raise concurrent.futures.BrokenExecutor("worker died")
+
+            def submit(self, *args, **kwargs):
+                raise concurrent.futures.BrokenExecutor("worker died")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        executor = ProcessPoolExecutor(max_workers=2)
+        jobs = tiny_spec(tools=("p4",)).jobs()[:2]
+        try:
+            executor._pool = BrokenPool()
+            with pytest.raises(concurrent.futures.BrokenExecutor):
+                executor.run(jobs)
+            assert executor._pool is None  # poisoned pool dropped
+            executor._pool = BrokenPool()
+            with pytest.raises(concurrent.futures.BrokenExecutor):
+                list(executor.run_instrumented(jobs))
+            assert executor._pool is None
+            # The next pass transparently builds a working pool.
+            assert executor.run(jobs)
+        finally:
+            executor.close()
+
+
+class TestStreamingExpansion:
+    def test_iter_jobs_matches_jobs(self):
+        spec = tiny_spec(platforms=("sun-ethernet", "sun-atm-lan"), seeds=(0, 1))
+        assert list(spec.iter_jobs()) == spec.jobs()
+        assert spec.job_count() == len(spec.jobs())
+
+    def test_run_jobs_accepts_lazy_iterable(self):
+        """The job stream is consumed without materializing: results,
+        cache counters and order match the list-based path."""
+        spec = tiny_spec(tools=("p4",))
+        eager = Scheduler()
+        expected = eager.run_jobs(spec.jobs())
+
+        pulled = []
+
+        def stream():
+            for job in spec.iter_jobs():
+                pulled.append(job)
+                yield job
+
+        lazy = Scheduler()
+        actual = lazy.run_jobs(stream())
+        assert actual == expected
+        assert list(actual) == list(expected)  # first-occurrence order kept
+        assert pulled == spec.jobs()
+        assert lazy.simulations_run == eager.simulations_run
+
+    def test_short_executor_is_an_error(self):
+        """An executor that drops outcomes cannot pass silently."""
+
+        class Lossy(object):
+            name = "lossy"
+
+            def run(self, jobs):
+                return [0.0 for job in jobs][:-1]
+
+        scheduler = Scheduler(executor=Lossy())
+        with pytest.raises(EvaluationError, match="too few"):
+            scheduler.run_jobs(tiny_spec(tools=("p4",)).jobs()[:3])
 
 
 class TestResultSet:

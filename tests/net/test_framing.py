@@ -1,8 +1,17 @@
 """Unit tests for frame/cell arithmetic (repro.net.base, repro.net.atm)."""
 
+import random
+
 import pytest
 
 from repro.net import FrameFormat, cells_for
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on bare images
+    HAVE_HYPOTHESIS = False
 
 
 class TestFrameFormat:
@@ -49,6 +58,59 @@ class TestFrameFormat:
     def test_total_wire_bytes(self):
         fmt = FrameFormat(1000, 50)
         assert fmt.total_wire_bytes(2500) == 2500 + 3 * 50
+
+    def test_last_frame_payload(self):
+        fmt = FrameFormat(1000, 50)
+        assert fmt.last_frame_payload(0) == 0
+        assert fmt.last_frame_payload(1) == 1
+        assert fmt.last_frame_payload(1000) == 1000
+        assert fmt.last_frame_payload(1001) == 1
+        assert fmt.last_frame_payload(2500) == 500
+
+
+def _per_frame_sum(fmt: FrameFormat, nbytes: int) -> int:
+    """The original O(frames) definition of total_wire_bytes."""
+    return sum(fmt.wire_bytes(p) for p in fmt.frame_payloads(nbytes))
+
+
+def _check_closed_form(payload, overhead, min_wire, nbytes):
+    fmt = FrameFormat(payload, overhead, min_wire)
+    assert fmt.total_wire_bytes(nbytes) == _per_frame_sum(fmt, nbytes)
+    payloads = list(fmt.frame_payloads(nbytes))
+    assert fmt.frame_count(nbytes) == len(payloads)
+    assert fmt.last_frame_payload(nbytes) == payloads[-1]
+
+
+class TestTotalWireBytesClosedForm:
+    """The O(1) arithmetic must equal the per-frame generator sum."""
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            payload=st.integers(min_value=1, max_value=10_000),
+            overhead=st.integers(min_value=0, max_value=500),
+            min_wire=st.integers(min_value=0, max_value=600),
+            nbytes=st.integers(min_value=-10, max_value=2_000_000),
+        )
+        def test_property(self, payload, overhead, min_wire, nbytes):
+            _check_closed_form(payload, overhead, min_wire, nbytes)
+
+    else:  # pragma: no cover - exercised on bare images
+
+        @pytest.mark.parametrize("seed", range(0, 200, 8))
+        def test_property(self, seed):
+            rng = random.Random(seed)
+            _check_closed_form(
+                rng.randint(1, 10_000),
+                rng.randint(0, 500),
+                rng.randint(0, 600),
+                rng.randint(-10, 2_000_000),
+            )
+
+    @pytest.mark.parametrize("nbytes", [0, 1, 999, 1000, 1001, 2000, 2001])
+    def test_boundaries(self, nbytes):
+        _check_closed_form(1000, 50, 84, nbytes)
 
 
 class TestAtmCells:

@@ -91,6 +91,73 @@ class TestRunUntil:
         assert fired == [10.0]
 
 
+class TestTimeoutUntil:
+    def test_fires_at_absolute_time(self, env):
+        times = []
+
+        def proc(env):
+            yield env.timeout(1.5)
+            yield env.timeout_until(4.0)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [4.0]
+
+    def test_pop_time_is_exact(self, env):
+        """No ``now + (at - now)`` float round-trip: the clock lands on
+        the scheduled float bit-exactly."""
+        # A pair where the relative-delay round-trip provably loses the
+        # target: (at - now) rounds to 1.0 (ties-to-even) and adding
+        # now back rounds to 1.0 again.
+        start, target = 2.0 ** -53, 1.0 + 2.0 ** -52
+        hit = []
+
+        def proc(env):
+            yield env.timeout(start)
+            assert (env.now + (target - env.now)) != target  # the trap
+            yield env.timeout_until(target)
+            hit.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert hit == [target]
+
+    def test_past_time_rejected(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            yield env.timeout_until(1.0)
+
+        process = env.process(proc(env))
+        with pytest.raises(ValueError):
+            env.run()
+        assert not process.ok
+
+    def test_carries_value(self, env):
+        def proc(env):
+            value = yield env.timeout_until(3.0, value="late")
+            return value
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == "late"
+
+    def test_orders_with_relative_timeouts(self, env):
+        order = []
+
+        def absolute(env):
+            yield env.timeout_until(2.0)
+            order.append("absolute")
+
+        def relative(env):
+            yield env.timeout(1.0)
+            order.append("relative")
+
+        env.process(absolute(env))
+        env.process(relative(env))
+        env.run()
+        assert order == ["relative", "absolute"]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def workload(env, log):
