@@ -1,0 +1,164 @@
+"""Noise-model benchmark: what the seeded jitter draws cost and buy.
+
+The --noise knob must be cheap enough to leave on for any sweep that
+wants honest error bars, and it must actually buy measurable spread.
+This script records both sides:
+
+* overhead — wall-clock time of an identical measurement pass with
+  noise off vs. noise on (the draws ride existing events, so the
+  ratio should sit near 1.0);
+* spread — the relative sample stddev that a multi-seed contended
+  Ethernet ring and an FDDI ring actually exhibit at noise=1.0
+  (deterministic runs pin 0.0 by construction);
+* fast-path preservation — an uncontended noisy 1 MB Ethernet
+  transfer must stay on the coalesced bulk path (no seeded draw can
+  occur without contention), so its wall time matches the
+  deterministic one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_noise.py [--quick] \
+        [--output BENCH_noise.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform as platform_mod
+import sys
+import time
+
+from repro.core.measurements import measure_ring
+from repro.net import Ethernet
+from repro.sim import Environment, RandomStreams
+
+
+def _best_of(repeats, func, *args):
+    """Minimum wall time over ``repeats`` runs (noise floor, not mean)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _ring_pass(platform_name, seeds, noise):
+    return [
+        measure_ring("p4", platform_name, 16_384, processors=4, seed=seed, noise=noise)
+        for seed in seeds
+    ]
+
+
+def bench_overhead(seeds, repeats):
+    """Same measurement pass, noise off vs on: the draw tax."""
+    base, _ = _best_of(repeats, _ring_pass, "sun-ethernet", seeds, 0.0)
+    noisy, _ = _best_of(repeats, _ring_pass, "sun-ethernet", seeds, 1.0)
+    return {
+        "deterministic_pass_seconds": base,
+        "noisy_pass_seconds": noisy,
+        # Higher is better: 1.0 = free, below 1 = noise costs time.
+        "noise_speed_ratio": base / noisy if noisy > 0 else float("nan"),
+    }
+
+
+def bench_spread(seeds):
+    """Relative stddev of the simulated ring time across seeds."""
+    spread = {}
+    for name in ("sun-ethernet", "alpha-fddi"):
+        samples = _ring_pass(name, seeds, 1.0)
+        n = len(samples)
+        mean = math.fsum(samples) / n
+        variance = math.fsum((s - mean) ** 2 for s in samples) / (n - 1)
+        spread[name] = {
+            "seeds": n,
+            "mean_simulated_seconds": mean,
+            "relative_stddev": math.sqrt(variance) / mean,
+        }
+    return spread
+
+
+def bench_fastpath_preserved(repeats):
+    """Uncontended noisy Ethernet must still coalesce (no draws)."""
+
+    def run(noisy):
+        env = Environment()
+        net = Ethernet(env, 2)
+        if noisy:
+            net.enable_noise(RandomStreams(0))
+        process = env.process(net.transfer(0, 1, 1_000_000))
+        env.run(until=process)
+        return env.now
+
+    base, base_now = _best_of(repeats, run, False)
+    noisy, noisy_now = _best_of(repeats, run, True)
+    return {
+        "deterministic_wall_seconds": base,
+        "noisy_wall_seconds": noisy,
+        "noisy_wall_ratio": base / noisy if noisy > 0 else float("nan"),
+        "simulated_times_identical": base_now == noisy_now,
+    }
+
+
+def run_benchmarks(quick=False):
+    seeds = tuple(range(3 if quick else 8))
+    repeats = 2 if quick else 4
+    metrics = {
+        "overhead": bench_overhead(seeds, repeats),
+        "spread_at_noise_1": bench_spread(seeds),
+        "uncontended_fastpath": bench_fastpath_preserved(repeats),
+    }
+    return {
+        "benchmark": "noise",
+        "quick": bool(quick),
+        "python": sys.version.split()[0],
+        "machine": platform_mod.machine(),
+        "metrics": metrics,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer seeds / repeats (CI smoke)")
+    parser.add_argument("--output", default="BENCH_noise.json",
+                        help="where to write the metrics (default ./BENCH_noise.json)")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick)
+    metrics = report["metrics"]
+
+    overhead = metrics["overhead"]
+    print("measurement pass (det):     %9.3f ms" % (overhead["deterministic_pass_seconds"] * 1e3))
+    print("measurement pass (noisy):   %9.3f ms" % (overhead["noisy_pass_seconds"] * 1e3))
+    print("noise speed ratio:          %9.2fx" % overhead["noise_speed_ratio"])
+    for name, cell in sorted(metrics["spread_at_noise_1"].items()):
+        print("spread %-13s:       %8.3f%% rel. stddev over %d seeds"
+              % (name, cell["relative_stddev"] * 100, cell["seeds"]))
+    fastpath = metrics["uncontended_fastpath"]
+    print("uncontended noisy 1 MB:     %9.3f ms (det %9.3f ms, sim times %s)"
+          % (fastpath["noisy_wall_seconds"] * 1e3,
+             fastpath["deterministic_wall_seconds"] * 1e3,
+             "identical" if fastpath["simulated_times_identical"] else "DIVERGED"))
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    if not fastpath["simulated_times_identical"]:
+        print("FAIL: noise perturbed an uncontended transfer (the fast "
+              "path must stay deterministic without contention)")
+        return 1
+    if all(cell["relative_stddev"] == 0.0
+           for cell in metrics["spread_at_noise_1"].values()):
+        print("FAIL: noise=1.0 produced zero spread across seeds")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,22 @@
 """Compare a BENCH_*.json run against a committed baseline.
 
 The benchmark scripts record absolute wall-clock metrics; this tool
-turns two such files into a regression report.  For now regressions
+turns two such files into a regression report.  By default regressions
 *warn* (exit 0) rather than fail — CI hardware is noisy and the
-trajectory is young — but ``--strict`` is there for the day the floor
-should hold.  Usage::
+trajectory is young.  ``--strict`` fails on any regression; for the
+middle ground, ``--strict-metric PATH[=TOL]`` (repeatable) fails only
+when one of the named metrics regresses — the right mode for
+ratio-style metrics (a speedup measured against a reference on the
+*same* machine), which deserve a hard floor while raw wall-times keep
+warning.  The optional per-metric ``=TOL`` sets how far below
+baseline the floor sits (ratio metrics still shift somewhat across
+interpreter versions and CPUs, so the floor should encode the real
+invariant, not the baseline machine's exact number).  Usage::
 
     python scripts/bench_report.py BENCH_kernel.json \
         --baseline benchmarks/data/BENCH_kernel_baseline.json \
-        [--tolerance 0.25] [--strict]
+        [--tolerance 0.25] [--strict] \
+        [--strict-metric metrics.ethernet_fastpath.speedup=0.8]
 """
 
 from __future__ import annotations
@@ -74,7 +82,20 @@ def main(argv=None):
                              "regressed (default 0.25)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on regressions instead of warning")
+    parser.add_argument("--strict-metric", action="append", default=[],
+                        metavar="PATH[=TOL]", dest="strict_metrics",
+                        help="flattened metric path (e.g. "
+                             "metrics.ethernet_fastpath.speedup) whose "
+                             "regression exits 1 even without --strict; "
+                             "an optional =TOL overrides --tolerance for "
+                             "that metric alone (e.g. PATH=0.8 tolerates "
+                             "an 80%% drop before failing); repeatable")
     args = parser.parse_args(argv)
+
+    strict_metrics = {}
+    for entry in args.strict_metrics:
+        path, _, tol = entry.partition("=")
+        strict_metrics[path] = float(tol) if tol else args.tolerance
 
     with open(args.current) as handle:
         current = json.load(handle)
@@ -85,18 +106,41 @@ def main(argv=None):
     if not rows:
         print("no shared numeric metrics between %s and %s"
               % (args.current, args.baseline))
-        return 0
+        # With strict metrics requested, "nothing to compare" means
+        # the hard floor cannot be enforced — that is a failure, not
+        # a free pass (a broken benchmark run must not stay green).
+        return 2 if strict_metrics else 0
+
+    seen_paths = {path for path, *_ in rows}
+    unknown = set(strict_metrics) - seen_paths
+    if unknown:
+        # A typo'd strict metric would silently enforce nothing.
+        print("--strict-metric paths not found in the shared metrics: %s"
+              % ", ".join(sorted(unknown)))
+        return 2
 
     width = max(len(path) for path, *_ in rows)
     print("%-*s %14s %14s %8s  %s"
           % (width, "metric", "baseline", "current", "ratio", "status"))
     regressions = 0
+    strict_failures = []
     for path, base, now, ratio, status in rows:
         if status == "REGRESSION":
             regressions += 1
-        print("%-*s %14.6g %14.6g %7.2fx  %s"
-              % (width, path, base, now, ratio, status))
+        if path in strict_metrics:
+            # Strict metrics are judged against their own tolerance,
+            # and a NaN ratio (a non-positive value: the benchmark is
+            # broken) must fail the floor, not slip past it as "ok".
+            if ratio != ratio or ratio < 1.0 - strict_metrics[path]:
+                strict_failures.append(path)
+        print("%-*s %14.6g %14.6g %7.2fx  %s%s"
+              % (width, path, base, now, ratio, status,
+                 "  [strict]" if path in strict_metrics else ""))
 
+    if strict_failures:
+        print("\nstrict metric(s) failed their floor: %s"
+              % ", ".join(strict_failures))
+        return 1
     if regressions:
         print("\n%d metric(s) regressed beyond %.0f%% tolerance"
               % (regressions, args.tolerance * 100)

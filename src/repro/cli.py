@@ -50,9 +50,20 @@ caching & statistics:
   scores, per-cell statistics and per-job telemetry (wall time,
   executor, cache hit/miss, attempts).
 
+simulated variance:
+  By default simulations are exactly deterministic, so every seed
+  yields the same sample and multi-seed CIs collapse to ±0.  --noise
+  [SCALE] turns on each platform's seeded stochastic network model
+  (Ethernet CSMA/CD backoff, FDDI token-rotation jitter, ATM/crossbar
+  switch jitter) at SCALE times its nominal amplitude (bare --noise
+  means 1.0).  Runs stay reproducible — the same (platform,
+  processors, seed, noise) always simulates the same timings — but
+  different seeds now measure real variance, which is what --stats is
+  for.  Noisy and deterministic runs never share cache entries.
+
   example (resumable, statistically grounded sweep):
     repro evaluate --platforms sun-ethernet alpha-fddi \\
-        --profile balanced end-user --seeds 0 1 2 \\
+        --profile balanced end-user --seeds 0 1 2 --noise \\
         --cache-dir .repro-cache --jobs 4 --stats --json sweep.json
 """,
     )
@@ -65,10 +76,18 @@ caching & statistics:
                           help="one or more weight profiles; extra profiles "
                                "re-score cached measurements for free")
     evaluate.add_argument("--tools", nargs="+", default=None)
-    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--seed", type=int, default=None,
+                          help="root seed for a single-replication run "
+                               "(default 0; mutually exclusive with --seeds)")
     evaluate.add_argument("--seeds", nargs="+", type=int, default=None,
                           help="replicate the sweep under several seeds "
-                               "(overrides --seed; enables --stats)")
+                               "(enables --stats; mutually exclusive with "
+                               "--seed)")
+    evaluate.add_argument("--noise", type=float, nargs="?", const=1.0,
+                          default=0.0, metavar="SCALE",
+                          help="enable the seeded stochastic network models "
+                               "at SCALE x their nominal amplitude (bare "
+                               "--noise means 1.0; default off)")
     evaluate.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the simulations "
                                "(default 1); the pool starts once and is "
@@ -135,8 +154,13 @@ def _cmd_evaluate(args) -> int:
     if args.platform and args.platforms:
         print("use either --platform or --platforms, not both")
         return 2
+    if args.seed is not None and args.seeds:
+        # Silently preferring one flag over the other would misreport
+        # which replication actually ran; make the conflict loud.
+        print("use either --seed or --seeds, not both")
+        return 2
     platforms = tuple(args.platforms or [args.platform or "sun-ethernet"])
-    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    seeds = tuple(args.seeds) if args.seeds else (args.seed if args.seed is not None else 0,)
     try:
         spec = EvaluationSpec(
             tools=tools,
@@ -144,6 +168,7 @@ def _cmd_evaluate(args) -> int:
             processors=args.processors,
             profiles=tuple(args.profile),
             seeds=seeds,
+            noise=args.noise,
         )
         # The scheduler's context manager shuts the (persistent,
         # reused-across-passes) worker pool down when the run is over.

@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.jobs import MeasurementJob
@@ -138,7 +139,10 @@ class DiskBackend(CacheBackend):
     temp file in the destination directory plus ``os.replace``, which
     is atomic on POSIX: concurrent writers of the *same* key race
     harmlessly (the entry is deterministic) and a kill mid-write
-    leaves no partial file behind.
+    leaves no partial *entry* behind.  It can leave an orphaned
+    ``*.tmp`` file, though — those are swept by :meth:`clear` and
+    (age-guarded) on every open, so kill-and-resume cycles do not
+    accumulate litter.
 
     A small read-through memo avoids re-parsing a file on repeated
     lookups within one process; durability always comes from disk.
@@ -146,10 +150,20 @@ class DiskBackend(CacheBackend):
 
     name = "disk"
 
+    #: Age (seconds) after which an orphaned ``*.tmp`` file is swept
+    #: on open.  A temp file this old cannot belong to a live writer
+    #: (writes are sub-second); it is litter from a writer killed
+    #: between ``mkstemp`` and ``os.replace``.
+    STALE_TMP_SECONDS = 60.0
+
     def __init__(self, root: str) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self._memo: Dict[str, Optional[float]] = {}
+        # Kill-and-resume is an advertised workflow, so orphaned temp
+        # files are expected litter; sweep opportunistically on open
+        # (age-guarded: a concurrent writer's in-flight temp survives).
+        self._sweep_tmp(min_age_seconds=self.STALE_TMP_SECONDS)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
@@ -246,12 +260,51 @@ class DiskBackend(CacheBackend):
         ``keys``): a drained stale-schema directory counts as empty."""
         return len(self.keys())
 
+    def _tmp_paths(self) -> Iterator[str]:
+        """Every ``mkstemp`` leftover under the fanout directories."""
+        try:
+            fanout = os.listdir(self.root)
+        except OSError:
+            return
+        for bucket in fanout:
+            bucket_dir = os.path.join(self.root, bucket)
+            if not os.path.isdir(bucket_dir):
+                continue
+            for name in os.listdir(bucket_dir):
+                if name.endswith(".tmp"):
+                    yield os.path.join(bucket_dir, name)
+
+    def _sweep_tmp(self, min_age_seconds: float = 0.0) -> int:
+        """Unlink orphaned temp files, returning how many went.
+
+        A writer that dies between ``mkstemp`` and ``os.replace``
+        leaves a ``*.tmp`` behind that no code path would ever touch
+        again.  With ``min_age_seconds`` only files at least that old
+        are removed (never a live writer's in-flight temp).
+        """
+        removed = 0
+        now = time.time()
+        for path in list(self._tmp_paths()):
+            try:
+                if min_age_seconds > 0.0:
+                    if now - os.path.getmtime(path) < min_age_seconds:
+                        continue
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass  # raced with another sweeper or writer
+        return removed
+
     def clear(self) -> None:
         for path in list(self._entry_paths()):
             try:
                 os.unlink(path)
             except OSError:
                 pass
+        # clear() means "empty this store": take the temp litter too
+        # (unconditionally — nobody clears a cache mid-write on
+        # purpose, and the old behavior left *.tmp files forever).
+        self._sweep_tmp()
         self._memo.clear()
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, validate_noise
 
 __all__ = [
     "JOB_KINDS",
@@ -33,11 +33,15 @@ JOB_KINDS = ("sendrecv", "broadcast", "ring", "global_sum", "application")
 
 @dataclass(frozen=True)
 class MeasurementJob:
-    """One simulation to run: ``(kind, tool, platform, params, seed)``.
+    """One simulation to run: ``(kind, tool, platform, params, seed, noise)``.
 
     ``params`` is a sorted tuple of ``(name, value)`` pairs rather
     than a dict so the job stays hashable; :meth:`params_dict` gives
-    the convenient view back.
+    the convenient view back.  ``noise`` is the seeded stochastic
+    amplitude handed to :func:`~repro.hardware.catalog.build_platform`
+    (``0.0`` = deterministic); it is part of the job's content
+    address, so noisy and deterministic runs never share a cache
+    entry.
     """
 
     kind: str
@@ -46,6 +50,7 @@ class MeasurementJob:
     processors: int
     params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
     seed: int = 0
+    noise: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -53,13 +58,22 @@ class MeasurementJob:
                 "unknown job kind %r; available: %s" % (self.kind, ", ".join(JOB_KINDS))
             )
         object.__setattr__(self, "params", tuple(sorted(tuple(self.params))))
+        object.__setattr__(
+            self, "noise", validate_noise(self.noise, EvaluationError)
+        )
 
     def params_dict(self) -> Dict[str, Any]:
         return dict(self.params)
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready description (the persistent cache's entry body)."""
-        return {
+        """A JSON-ready description (the persistent cache's entry body).
+
+        ``noise`` appears only when nonzero: deterministic jobs keep
+        the exact serialization (and therefore the exact cache keys)
+        they had before the knob existed, so existing cache
+        directories and golden fixtures stay valid.
+        """
+        data = {
             "kind": self.kind,
             "tool": self.tool,
             "platform": self.platform,
@@ -67,6 +81,9 @@ class MeasurementJob:
             "params": [[name, value] for name, value in self.params],
             "seed": self.seed,
         }
+        if self.noise:
+            data["noise"] = self.noise
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "MeasurementJob":
@@ -79,46 +96,58 @@ class MeasurementJob:
             processors=int(data["processors"]),
             params=tuple((name, value) for name, value in data["params"]),
             seed=int(data["seed"]),
+            noise=float(data.get("noise", 0.0)),
         )
 
     def label(self) -> str:
         """Short human-readable description (for logs and traces)."""
         inner = ", ".join("%s=%s" % item for item in self.params)
-        return "%s[%s] %s@%s/%d seed=%d" % (
+        text = "%s[%s] %s@%s/%d seed=%d" % (
             self.kind, inner, self.tool, self.platform, self.processors, self.seed,
         )
+        if self.noise:
+            text += " noise=%g" % self.noise
+        return text
 
 
-def sendrecv_job(tool: str, platform: str, nbytes: int, seed: int = 0) -> MeasurementJob:
+def sendrecv_job(
+    tool: str, platform: str, nbytes: int, seed: int = 0, noise: float = 0.0
+) -> MeasurementJob:
     """Round-trip echo between ranks 0 and 1 (always a 2-rank run)."""
-    return MeasurementJob("sendrecv", tool, platform, 2, (("nbytes", nbytes),), seed)
+    return MeasurementJob("sendrecv", tool, platform, 2, (("nbytes", nbytes),), seed, noise)
 
 
 def broadcast_job(
-    tool: str, platform: str, nbytes: int, processors: int, seed: int = 0
+    tool: str, platform: str, nbytes: int, processors: int, seed: int = 0,
+    noise: float = 0.0,
 ) -> MeasurementJob:
-    return MeasurementJob("broadcast", tool, platform, processors, (("nbytes", nbytes),), seed)
+    return MeasurementJob(
+        "broadcast", tool, platform, processors, (("nbytes", nbytes),), seed, noise
+    )
 
 
 def ring_job(
-    tool: str, platform: str, nbytes: int, processors: int, seed: int = 0
+    tool: str, platform: str, nbytes: int, processors: int, seed: int = 0,
+    noise: float = 0.0,
 ) -> MeasurementJob:
-    return MeasurementJob("ring", tool, platform, processors, (("nbytes", nbytes),), seed)
+    return MeasurementJob("ring", tool, platform, processors, (("nbytes", nbytes),), seed, noise)
 
 
 def global_sum_job(
-    tool: str, platform: str, vector_ints: int, processors: int, seed: int = 0
+    tool: str, platform: str, vector_ints: int, processors: int, seed: int = 0,
+    noise: float = 0.0,
 ) -> MeasurementJob:
     return MeasurementJob(
-        "global_sum", tool, platform, processors, (("vector_ints", vector_ints),), seed
+        "global_sum", tool, platform, processors, (("vector_ints", vector_ints),), seed, noise
     )
 
 
 def application_job(
-    app: str, tool: str, platform: str, processors: int, seed: int = 0, **app_params
+    app: str, tool: str, platform: str, processors: int, seed: int = 0,
+    noise: float = 0.0, **app_params
 ) -> MeasurementJob:
     params = (("app", app),) + tuple(app_params.items())
-    return MeasurementJob("application", tool, platform, processors, params, seed)
+    return MeasurementJob("application", tool, platform, processors, params, seed, noise)
 
 
 def execute_job(job: MeasurementJob) -> Optional[float]:
@@ -133,27 +162,27 @@ def execute_job(job: MeasurementJob) -> Optional[float]:
     if job.kind == "sendrecv":
         return measurements.measure_sendrecv(
             job.tool, job.platform, params["nbytes"],
-            processors=job.processors, seed=job.seed,
+            processors=job.processors, seed=job.seed, noise=job.noise,
         )
     if job.kind == "broadcast":
         return measurements.measure_broadcast(
             job.tool, job.platform, params["nbytes"],
-            processors=job.processors, seed=job.seed,
+            processors=job.processors, seed=job.seed, noise=job.noise,
         )
     if job.kind == "ring":
         return measurements.measure_ring(
             job.tool, job.platform, params["nbytes"],
-            processors=job.processors, seed=job.seed,
+            processors=job.processors, seed=job.seed, noise=job.noise,
         )
     if job.kind == "global_sum":
         return measurements.measure_global_sum(
             job.tool, job.platform, params["vector_ints"],
-            processors=job.processors, seed=job.seed,
+            processors=job.processors, seed=job.seed, noise=job.noise,
         )
     if job.kind == "application":
         app_name = params.pop("app")
         return measurements.measure_application(
             app_name, job.tool, job.platform,
-            processors=job.processors, seed=job.seed, **params,
+            processors=job.processors, seed=job.seed, noise=job.noise, **params,
         )
     raise EvaluationError("unknown job kind %r" % job.kind)

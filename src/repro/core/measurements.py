@@ -29,8 +29,8 @@ __all__ = [
 ]
 
 
-def _make(tool_name, platform_name, processors, seed, profile):
-    platform = build_platform(platform_name, processors=processors, seed=seed)
+def _make(tool_name, platform_name, processors, seed, profile, noise=0.0):
+    platform = build_platform(platform_name, processors=processors, seed=seed, noise=noise)
     return create_tool(tool_name, platform, profile)
 
 
@@ -41,13 +41,14 @@ def measure_sendrecv(
     processors: int = 2,
     seed: int = 0,
     profile: Optional[ToolProfile] = None,
+    noise: float = 0.0,
 ) -> float:
     """Round-trip echo time (seconds) between ranks 0 and 1.
 
     This is the paper's Table 3 experiment: rank 0 sends ``nbytes``,
     rank 1 echoes them back, and the elapsed round trip is reported.
     """
-    tool = _make(tool_name, platform_name, processors, seed, profile)
+    tool = _make(tool_name, platform_name, processors, seed, profile, noise)
 
     def program(comm):
         if comm.rank == 0:
@@ -70,9 +71,10 @@ def measure_broadcast(
     processors: int = 4,
     seed: int = 0,
     profile: Optional[ToolProfile] = None,
+    noise: float = 0.0,
 ) -> float:
     """Time (seconds) until every rank holds the root's message."""
-    tool = _make(tool_name, platform_name, processors, seed, profile)
+    tool = _make(tool_name, platform_name, processors, seed, profile, noise)
 
     def program(comm):
         payload = b"" if comm.rank == 0 else None
@@ -89,13 +91,14 @@ def measure_ring(
     processors: int = 4,
     seed: int = 0,
     profile: Optional[ToolProfile] = None,
+    noise: float = 0.0,
 ) -> float:
     """Ring communication time: all nodes send right and receive left.
 
     The paper's TPL ring experiment ("all nodes send and receive"):
     completion is when the last node holds its neighbour's message.
     """
-    tool = _make(tool_name, platform_name, processors, seed, profile)
+    tool = _make(tool_name, platform_name, processors, seed, profile, noise)
 
     def program(comm):
         yield from comm.ring_shift(nbytes=nbytes)
@@ -111,10 +114,11 @@ def measure_global_sum(
     processors: int = 4,
     seed: int = 0,
     profile: Optional[ToolProfile] = None,
+    noise: float = 0.0,
 ) -> Optional[float]:
     """Global vector-sum time, or ``None`` if the tool has no global
     operation (PVM: Table 1 "Not Available")."""
-    tool = _make(tool_name, platform_name, processors, seed, profile)
+    tool = _make(tool_name, platform_name, processors, seed, profile, noise)
 
     def program(comm):
         vector = np.ones(vector_ints, dtype=np.int32)
@@ -136,9 +140,10 @@ def measure_barrier(
     processors: int = 4,
     seed: int = 0,
     profile: Optional[ToolProfile] = None,
+    noise: float = 0.0,
 ) -> float:
     """Barrier synchronization time across ``processors`` ranks."""
-    tool = _make(tool_name, platform_name, processors, seed, profile)
+    tool = _make(tool_name, platform_name, processors, seed, profile, noise)
 
     def program(comm):
         yield from comm.barrier()
@@ -155,11 +160,12 @@ def measure_application(
     seed: int = 0,
     check: bool = False,
     profile: Optional[ToolProfile] = None,
+    noise: float = 0.0,
     **app_params,
 ) -> float:
     """End-to-end application time (seconds) — the APL experiment."""
     application = create_application(app_name, **app_params)
-    platform = build_platform(platform_name, processors=max(processors, 1), seed=seed)
+    platform = build_platform(platform_name, processors=max(processors, 1), seed=seed, noise=noise)
     tool = create_tool(tool_name, platform, profile)
     run = application.run(tool, processors=processors, check=check)
     return run.elapsed_seconds

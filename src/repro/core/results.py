@@ -283,8 +283,9 @@ class ResultSet(object):
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        samples = [
-            {
+        samples = []
+        for job, value in self.values.items():
+            sample = {
                 "kind": job.kind,
                 "tool": job.tool,
                 "platform": job.platform,
@@ -293,8 +294,11 @@ class ResultSet(object):
                 "seed": job.seed,
                 "seconds": value,
             }
-            for job, value in self.values.items()
-        ]
+            # Deterministic exports stay byte-identical to the
+            # pre-noise format (golden fixtures pin this).
+            if job.noise:
+                sample["noise"] = job.noise
+            samples.append(sample)
         scores = {}
         for (platform, profile_name, seed), report in self.reports().items():
             key = "%s/%s/seed%d" % (platform, profile_name, seed)
@@ -324,6 +328,8 @@ class ResultSet(object):
                 "params": job.params_dict(),
                 "seed": job.seed,
             }
+            if job.noise:
+                entry["noise"] = job.noise
             entry.update(record.to_dict())
             jobs.append(entry)
         walls = [

@@ -232,6 +232,15 @@ class ProcessPoolExecutor(object):
         except concurrent.futures.BrokenExecutor:
             self.close()
             raise
+        finally:
+            # The consumer may abandon the generator early — an
+            # exception mid-sweep, itertools.islice, ctrl-C.  Without
+            # this, every chunk still in the window keeps simulating
+            # in the pool (and new consumers queue behind it).  Cancel
+            # whatever has not started; chunks already executing run
+            # to completion, which is as good as process pools offer.
+            for future in in_flight:
+                future.cancel()
 
 
 def create_executor(jobs: int = 1):
@@ -326,6 +335,11 @@ class Scheduler(object):
         lazily: cache hits resolve during the scan and misses flow
         straight into the executor, so a huge grid never materializes
         as a full job list on this side.
+
+        A job's ``noise`` amplitude is part of its content address,
+        so noisy and deterministic runs of the same configuration are
+        distinct cache entries — a noisy sweep never serves (or
+        poisons) a deterministic one.
         """
         results: Dict[MeasurementJob, Optional[float]] = {}
         in_flight: deque = deque()

@@ -26,7 +26,7 @@ from repro.core.jobs import (
 )
 from repro.core.levels import STANDARD_LEVELS
 from repro.core.weights import BALANCED, PRESET_PROFILES, WeightProfile
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, validate_noise
 
 __all__ = ["DEFAULT_APP_PARAMS", "DEFAULT_TPL_SIZES", "EvaluationSpec"]
 
@@ -90,6 +90,12 @@ class EvaluationSpec:
     Construction validates everything against the *live* registries,
     so tools and platforms registered at run time work like the
     built-ins and typos fail before any simulation starts.
+
+    ``noise`` is a scalar, not an axis: it sets the amplitude of the
+    platforms' seeded stochastic network models for *every* job in the
+    grid (``0.0`` = deterministic).  Combined with several ``seeds``
+    it is what makes :meth:`~repro.core.results.ResultSet.seed_statistics`
+    report real simulated variance.
     """
 
     tools: Sequence[str] = ("express", "p4", "pvm")
@@ -101,6 +107,7 @@ class EvaluationSpec:
     app_params: Dict[str, dict] = field(default_factory=dict)
     profiles: Sequence[ProfileLike] = (BALANCED,)
     seeds: Sequence[int] = (0,)
+    noise: float = 0.0
 
     def __post_init__(self) -> None:
         from repro.apps.suite import BENCHMARKED_APPS, EXTENSION_APPS
@@ -167,6 +174,8 @@ class EvaluationSpec:
         if len(set(self.seeds)) != len(self.seeds):
             raise EvaluationError("duplicate seed in spec")
 
+        self.noise = validate_noise(self.noise, EvaluationError)
+
         if not self.profiles:
             raise EvaluationError("spec needs at least one weight profile")
         self.profiles = tuple(_resolve_profile(entry) for entry in self.profiles)
@@ -183,14 +192,20 @@ class EvaluationSpec:
         jobs = []
         for nbytes in self.tpl_sizes:
             for tool in self.tools:
-                jobs.append(sendrecv_job(tool, platform, nbytes, seed))
+                jobs.append(sendrecv_job(tool, platform, nbytes, seed, self.noise))
             for tool in self.tools:
-                jobs.append(broadcast_job(tool, platform, nbytes, self.processors, seed))
+                jobs.append(
+                    broadcast_job(tool, platform, nbytes, self.processors, seed, self.noise)
+                )
             for tool in self.tools:
-                jobs.append(ring_job(tool, platform, nbytes, self.processors, seed))
+                jobs.append(
+                    ring_job(tool, platform, nbytes, self.processors, seed, self.noise)
+                )
         for tool in self.tools:
             jobs.append(
-                global_sum_job(tool, platform, self.global_sum_ints, self.processors, seed)
+                global_sum_job(
+                    tool, platform, self.global_sum_ints, self.processors, seed, self.noise
+                )
             )
         return jobs
 
@@ -201,7 +216,9 @@ class EvaluationSpec:
             params = self.app_params.get(app, {})
             for tool in self.tools:
                 jobs.append(
-                    application_job(app, tool, platform, self.processors, seed, **params)
+                    application_job(
+                        app, tool, platform, self.processors, seed, self.noise, **params
+                    )
                 )
         return jobs
 
@@ -241,7 +258,7 @@ class EvaluationSpec:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "tools": list(self.tools),
             "platforms": list(self.platforms),
             "processors": self.processors,
@@ -252,13 +269,19 @@ class EvaluationSpec:
             "profiles": [_profile_to_dict(profile) for profile in self.profiles],
             "seeds": list(self.seeds),
         }
+        # Deterministic specs serialize exactly as they did before the
+        # noise knob existed, so pre-existing spec files and golden
+        # fixtures stay byte-identical.
+        if self.noise:
+            data["noise"] = self.noise
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "EvaluationSpec":
         data = dict(data)
         unknown = set(data) - {
             "tools", "platforms", "processors", "tpl_sizes", "global_sum_ints",
-            "apps", "app_params", "profiles", "seeds",
+            "apps", "app_params", "profiles", "seeds", "noise",
         }
         if unknown:
             raise EvaluationError("unknown spec fields: %s" % ", ".join(sorted(unknown)))

@@ -6,6 +6,8 @@ can catch everything from this library with a single except clause.
 
 from __future__ import annotations
 
+import math
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -15,6 +17,7 @@ __all__ = [
     "ApplicationError",
     "EvaluationError",
     "CalibrationError",
+    "validate_noise",
 ]
 
 
@@ -52,3 +55,23 @@ class EvaluationError(ReproError):
 
 class CalibrationError(ReproError):
     """Calibration data is missing or malformed."""
+
+
+def validate_noise(value, error_cls, what: str = "noise",
+                   allow_zero: bool = True) -> float:
+    """Validate a noise amplitude/scale and return it as a float.
+
+    The single source of truth for every layer's noise check — spec,
+    job, platform catalog and network model all accept the same range
+    (finite, non-negative; models reject zero too since "enabled at
+    zero amplitude" is a contradiction) but raise their own layer's
+    exception, passed in as ``error_cls``.  NaN is rejected alongside
+    infinities: it would also break job equality (NaN != NaN) and
+    therefore caching.
+    """
+    value = float(value)
+    bad = not math.isfinite(value) or (value < 0.0 if allow_zero else value <= 0.0)
+    if bad:
+        bound = ">= 0" if allow_zero else "positive"
+        raise error_cls("%s must be finite and %s, got %g" % (what, bound, value))
+    return value

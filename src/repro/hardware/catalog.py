@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, validate_noise
 from repro.hardware.node import Node, NodeSpec
 from repro.hardware.platform import Platform
 from repro.hardware.specs import ALPHA, RS6000_370, SPARC_ELC, SPARC_IPX
@@ -69,6 +69,7 @@ def build_platform(
     processors: Optional[int] = None,
     seed: int = 0,
     tracer: Optional[Tracer] = None,
+    noise: float = 0.0,
 ) -> Platform:
     """Build a fresh platform by catalog name.
 
@@ -82,11 +83,20 @@ def build_platform(
         Root seed for the platform's random streams.
     tracer:
         Optional tracer shared by network and tools.
+    noise:
+        Amplitude of the network's seeded stochastic model.  ``0.0``
+        (the default) keeps the medium exactly deterministic; any
+        positive value attaches the medium's jitter/backoff model
+        (drawing from this platform's :class:`RandomStreams`, so the
+        triple ``(name, processors, seed)`` plus ``noise`` fully
+        reproduces a run), scaled relative to the model's nominal
+        amplitude at ``1.0``.
 
     Raises
     ------
     ConfigurationError
-        For unknown names or out-of-range processor counts.
+        For unknown names, out-of-range processor counts or a
+        negative ``noise``.
     """
     try:
         recipe = _RECIPES[name]
@@ -101,10 +111,13 @@ def build_platform(
             "platform %s supports 1..%d processors, got %d"
             % (name, recipe.max_processors, processors)
         )
+    noise = validate_noise(noise, ConfigurationError)
 
     env = Environment()
     tracer = tracer if tracer is not None else NullTracer()
     rng = RandomStreams(seed)
     network = recipe.network_factory(env, processors, tracer)
+    if noise > 0.0:
+        network.enable_noise(rng, noise)
     nodes = [Node(env, node_id, recipe.spec) for node_id in range(processors)]
     return Platform(name, env, nodes, network, rng=rng, tracer=tracer)

@@ -61,6 +61,16 @@ class AtmLan(Network):
         self._out_ports = [Resource(env, capacity=1) for _ in range(node_count)]
         self._in_ports = [Resource(env, capacity=1) for _ in range(node_count)]
 
+    def enable_noise(self, streams, scale: float = 1.0) -> None:
+        """Seeded switch-traversal jitter: VC lookup and cut-through
+        start vary with switch occupancy, so each message pays an extra
+        uniform draw in ``[0, scale * switch_latency_seconds]`` from
+        the ``"atm.switch"`` stream on top of the nominal traversal.
+        """
+        scale = self._noise_scale(scale)  # validate before any mutation
+        self._jitter_rng = streams.stream("atm.switch")
+        self._max_jitter = self.switch_latency_seconds * scale
+
     @property
     def payload_rate_bps(self) -> float:
         """User-data rate after the 53/48 cell tax."""
@@ -80,7 +90,9 @@ class AtmLan(Network):
         yield from self._stream_through_ports(
             self._out_ports[src], self._in_ports[dst], stream_time
         )
-        yield self.env.timeout(self.switch_latency_seconds + self.propagation_seconds)
+        yield self.env.timeout(
+            self.switch_latency_seconds + self._jitter_seconds() + self.propagation_seconds
+        )
         wire_total = cells_for(nbytes) * _CELL_BYTES
         self._record(src, dst, nbytes, wire_total, stream_time)
         return self.env.now - start

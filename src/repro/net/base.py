@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, validate_noise
 from repro.sim import Environment, Event, NullTracer, Resource, Tracer
 
 __all__ = ["FrameFormat", "NetworkStats", "Network"]
@@ -154,6 +154,34 @@ class Network(object):
         self.node_count = int(node_count)
         self.tracer = tracer if tracer is not None else NullTracer()
         self.stats = NetworkStats()
+        # Seeded jitter model, attached by enable_noise(); with no
+        # generator the medium is exactly deterministic.
+        self._jitter_rng = None
+        self._max_jitter = 0.0
+
+    def enable_noise(self, streams, scale: float = 1.0) -> None:
+        """Attach this medium's seeded stochastic model.
+
+        ``streams`` is the platform's
+        :class:`~repro.sim.rng.RandomStreams`; every medium draws from
+        its own named stream, so enabling noise on one never perturbs
+        another.  ``scale`` multiplies the medium's class-default
+        jitter amplitude (``1.0`` = the physical model's nominal
+        spread).  Media without a stochastic model refuse rather than
+        silently simulate deterministic results under a noise flag.
+        """
+        raise NetworkError("%s has no stochastic model to enable" % self.kind)
+
+    def _noise_scale(self, scale: float) -> float:
+        """Validate an ``enable_noise`` amplitude scale."""
+        return validate_noise(scale, NetworkError, what="noise scale",
+                              allow_zero=False)
+
+    def _jitter_seconds(self) -> float:
+        """One seeded jitter draw (0.0 when noise is disabled)."""
+        if self._jitter_rng is None:
+            return 0.0
+        return self._jitter_rng.uniform(0.0, self._max_jitter)
 
     def __repr__(self) -> str:
         return "<%s nodes=%d>" % (type(self).__name__, self.node_count)

@@ -45,6 +45,17 @@ class AllnodeSwitch(Network):
         self._out_ports = [Resource(env, capacity=1) for _ in range(node_count)]
         self._in_ports = [Resource(env, capacity=1) for _ in range(node_count)]
 
+    def enable_noise(self, streams, scale: float = 1.0) -> None:
+        """Seeded route-setup jitter: the Allnode switch establishes a
+        circuit per message, and setup time varies with switch state.
+        Each message pays an extra uniform draw in
+        ``[0, scale * switch_latency_seconds]`` from the
+        ``"allnode.switch"`` stream.
+        """
+        scale = self._noise_scale(scale)  # validate before any mutation
+        self._jitter_rng = streams.stream("allnode.switch")
+        self._max_jitter = self.switch_latency_seconds * scale
+
     def stream_seconds(self, nbytes: int) -> float:
         """Wire time for an ``nbytes`` message including packet tax."""
         return self.frame_format.total_wire_bytes(nbytes) * 8.0 / self.rate_bps
@@ -57,7 +68,9 @@ class AllnodeSwitch(Network):
         yield from self._stream_through_ports(
             self._out_ports[src], self._in_ports[dst], stream_time
         )
-        yield self.env.timeout(self.switch_latency_seconds + self.propagation_seconds)
+        yield self.env.timeout(
+            self.switch_latency_seconds + self._jitter_seconds() + self.propagation_seconds
+        )
         wire_total = self.frame_format.total_wire_bytes(nbytes)
         self._record(src, dst, nbytes, wire_total, stream_time)
         return self.env.now - start

@@ -57,7 +57,22 @@ class Ethernet(Network):
         self.frame_format = FrameFormat(_TCP_MSS, _FRAME_OVERHEAD, _MIN_WIRE)
         self._medium = Resource(env, capacity=1)
         self._backoff_rng = backoff_rng
-        self._max_backoff = float(max_backoff_seconds)
+        # Nominal amplitude kept separately so enable_noise scales
+        # from the configured value, not from a previous scaling.
+        self._nominal_backoff = float(max_backoff_seconds)
+        self._max_backoff = self._nominal_backoff
+
+    def enable_noise(self, streams, scale: float = 1.0) -> None:
+        """Seeded CSMA/CD backoff: a host that finds the segment busy
+        defers a uniform random slice of ``max_backoff_seconds`` before
+        transmitting.  Draws come from the ``"ethernet.backoff"``
+        stream, and only ever occur under contention — an uncontended
+        transfer stays on the deterministic bulk fast path and leaves
+        the stream untouched.
+        """
+        scale = self._noise_scale(scale)  # validate before any mutation
+        self._backoff_rng = streams.stream("ethernet.backoff")
+        self._max_backoff = self._nominal_backoff * scale
 
     @property
     def medium_queue_length(self) -> int:

@@ -51,6 +51,19 @@ class FddiRing(Network):
         self.frame_format = FrameFormat(_FDDI_PAYLOAD, _FRAME_OVERHEAD)
         self._token = Resource(env, capacity=1)
 
+    def enable_noise(self, streams, scale: float = 1.0) -> None:
+        """Seeded token-rotation jitter: ``token_latency_seconds`` is
+        the *mean* wait for the token on an idle ring, but the token is
+        actually somewhere along the ring when a station wants it.
+        With noise enabled each capture waits an extra uniform draw in
+        ``[0, scale * token_latency_seconds]`` from the
+        ``"fddi.token"`` stream — one draw per message, matching the
+        once-per-message token capture.
+        """
+        scale = self._noise_scale(scale)  # validate before any mutation
+        self._jitter_rng = streams.stream("fddi.token")
+        self._max_jitter = self.token_latency_seconds * scale
+
     def frame_seconds(self, payload: int) -> float:
         """Wire time of one frame carrying ``payload`` bytes."""
         return self.frame_format.wire_bytes(payload) * 8.0 / self.rate_bps
@@ -67,7 +80,8 @@ class FddiRing(Network):
         start = self.env.now
         wire_total = self.frame_format.total_wire_bytes(nbytes)
         busy_total = wire_total * 8.0 / self.rate_bps
-        yield from self._hold_for(self._token, self.token_latency_seconds, busy_total)
+        token_wait = self.token_latency_seconds + self._jitter_seconds()
+        yield from self._hold_for(self._token, token_wait, busy_total)
         yield self.env.timeout(self.propagation_seconds)
         self._record(src, dst, nbytes, wire_total, busy_total)
         return self.env.now - start

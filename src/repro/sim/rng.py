@@ -5,13 +5,19 @@ Carlo sampling, workload generation) draws from a *named* stream so
 that adding a new consumer never perturbs the draws seen by existing
 ones.  Stream seeds are derived stably from ``(root_seed, name)`` via
 SHA-256, so results are reproducible across runs and Python versions.
+
+Stream names in use by the built-in network noise models
+(:meth:`repro.net.base.Network.enable_noise`): ``"ethernet.backoff"``,
+``"fddi.token"``, ``"atm.switch"``, ``"allnode.switch"``.  Keep new
+consumers on their own names; :meth:`RandomStreams.stream_names`
+shows which streams a run actually instantiated.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -48,6 +54,14 @@ class RandomStreams(object):
     @property
     def seed(self) -> int:
         return self._seed
+
+    def stream_names(self) -> Tuple[str, ...]:
+        """Names of every stream instantiated so far, sorted.
+
+        Diagnostic view: e.g. after a noisy run it shows which media
+        actually attached (and possibly drew from) their models.
+        """
+        return tuple(sorted(set(self._py_streams) | set(self._np_streams)))
 
     def stream(self, name: str) -> random.Random:
         """Return (creating on first use) the Python stream ``name``."""

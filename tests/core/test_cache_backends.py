@@ -101,6 +101,62 @@ class TestDiskBackend:
         assert fresh.get(key) is MISSING
         assert list(fresh.entries()) == []
 
+    @pytest.mark.parametrize("damage", ["truncate", "garbage", "empty"])
+    def test_torn_entry_is_a_miss_everywhere(self, tmp_path, damage):
+        """A torn write (truncated JSON, binary garbage, empty file)
+        must read as a miss through *every* read surface — get, keys,
+        entries and len — never as an exception or a phantom entry."""
+        backend = DiskBackend(str(tmp_path))
+        torn_key = job_key(JOB)
+        backend.put(torn_key, 0.25, JOB)
+        backend.put(job_key(OTHER), 0.5, OTHER)
+        path = os.path.join(str(tmp_path), torn_key[:2], torn_key + ".json")
+        if damage == "truncate":
+            whole = open(path).read()
+            with open(path, "w") as handle:
+                handle.write(whole[: len(whole) // 2])
+        elif damage == "garbage":
+            with open(path, "wb") as handle:
+                handle.write(b"\x00\xff\x13garbage")
+        else:
+            open(path, "w").close()
+        fresh = DiskBackend(str(tmp_path))
+        assert fresh.get(torn_key) is MISSING
+        assert fresh.keys() == [job_key(OTHER)]
+        assert dict(fresh.entries()) == {OTHER: 0.5}
+        assert len(fresh) == 1
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        """A writer killed between mkstemp and os.replace leaves a
+        *.tmp behind; clear() must take it along with the entries."""
+        backend = DiskBackend(str(tmp_path))
+        key = job_key(JOB)
+        backend.put(key, 0.25, JOB)
+        orphan = os.path.join(str(tmp_path), key[:2], "tmp_dead_writer.tmp")
+        with open(orphan, "w") as handle:
+            handle.write('{"schema":')  # torn, as a real kill leaves it
+        backend.clear()
+        assert not os.path.exists(orphan)
+        assert len(DiskBackend(str(tmp_path))) == 0
+
+    def test_open_sweeps_stale_tmp_but_spares_fresh_ones(self, tmp_path):
+        """Opening a cache directory removes tmp litter old enough to
+        be orphaned, but never a concurrent writer's in-flight file."""
+        backend = DiskBackend(str(tmp_path))
+        key = job_key(JOB)
+        backend.put(key, 0.25, JOB)
+        bucket = os.path.join(str(tmp_path), key[:2])
+        stale = os.path.join(bucket, "tmp_stale.tmp")
+        fresh = os.path.join(bucket, "tmp_fresh.tmp")
+        for path in (stale, fresh):
+            open(path, "w").close()
+        long_ago = os.path.getmtime(stale) - 2 * DiskBackend.STALE_TMP_SECONDS
+        os.utime(stale, (long_ago, long_ago))
+        reopened = DiskBackend(str(tmp_path))
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)  # in-flight writer unharmed
+        assert reopened.get(key) == 0.25  # entries untouched
+
     def test_write_is_atomic_no_temp_droppings(self, tmp_path):
         backend = DiskBackend(str(tmp_path))
         for index in range(8):

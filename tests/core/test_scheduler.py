@@ -156,6 +156,66 @@ class TestPersistentPool:
             executor.close()
 
 
+class TestAbandonedStream:
+    """A consumer that stops early (islice, exception, ctrl-C) must
+    not leave queued job chunks simulating in the pool forever."""
+
+    @staticmethod
+    def _executor_with_fake_pool(prefilled_chunks=1):
+        """A ProcessPoolExecutor whose pool hands back real Futures:
+        the first ``prefilled_chunks`` resolve immediately, the rest
+        stay pending (as if workers were still busy)."""
+        import concurrent.futures
+        from repro.core.scheduler import JobOutcome
+
+        executor = ProcessPoolExecutor(max_workers=2)
+        submitted = []
+
+        class FakePool(object):
+            def submit(self, fn, chunk, retries):
+                future = concurrent.futures.Future()
+                if len(submitted) < prefilled_chunks:
+                    future.set_result(
+                        [JobOutcome(1.0, 0.0, 1) for _ in chunk]
+                    )
+                submitted.append(future)
+                return future
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        executor._pool = FakePool()
+        return executor, submitted
+
+    def test_generator_close_cancels_queued_chunks(self):
+        executor, submitted = self._executor_with_fake_pool()
+        jobs = tiny_spec(tools=("p4", "pvm", "express")).jobs()
+        stream = executor.run_instrumented(jobs)
+        next(stream)  # consume one outcome, abandon the rest
+        stream.close()
+        # The window was filled (several chunks in flight) and every
+        # chunk still queued behind the consumed one is cancelled.
+        assert len(submitted) > 1
+        assert all(future.cancelled() for future in submitted[1:])
+
+    def test_exception_mid_sweep_cancels_queued_chunks(self):
+        executor, submitted = self._executor_with_fake_pool()
+        jobs = tiny_spec(tools=("p4", "pvm", "express")).jobs()
+        stream = executor.run_instrumented(jobs)
+        next(stream)
+        with pytest.raises(RuntimeError):
+            stream.throw(RuntimeError("consumer died mid-sweep"))
+        assert all(future.cancelled() for future in submitted[1:])
+
+    def test_exhausted_stream_cancels_nothing(self):
+        """Normal completion leaves no pending futures to cancel."""
+        with ProcessPoolExecutor(max_workers=2) as executor:
+            jobs = tiny_spec(tools=("p4",)).jobs()[:3]
+            outcomes = list(executor.run_instrumented(jobs))
+        assert len(outcomes) == 3
+        assert all(outcome.value is not None for outcome in outcomes)
+
+
 class TestStreamingExpansion:
     def test_iter_jobs_matches_jobs(self):
         spec = tiny_spec(platforms=("sun-ethernet", "sun-atm-lan"), seeds=(0, 1))

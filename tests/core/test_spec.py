@@ -39,6 +39,9 @@ class TestValidation:
             {"profiles": (42,)},
             {"seeds": ()},
             {"seeds": (1, 1)},
+            {"noise": -0.1},
+            {"noise": float("nan")},
+            {"noise": float("inf")},
         ],
     )
     def test_invalid_specs_rejected(self, kwargs):
@@ -96,6 +99,35 @@ class TestJobExpansion:
         with pytest.raises(EvaluationError):
             MeasurementJob("teleport", "p4", "sun-ethernet", 2)
 
+    def test_noise_reaches_every_job(self):
+        spec = EvaluationSpec(apps=("montecarlo",), noise=0.5)
+        assert all(job.noise == 0.5 for job in spec.jobs())
+        assert all(job.noise == 0.0 for job in spec.with_(noise=0.0).jobs())
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+    def test_invalid_job_noise_rejected(self, bad):
+        """Negative is nonsense; NaN would additionally break job
+        equality (NaN != NaN) and therefore caching."""
+        with pytest.raises(EvaluationError):
+            sendrecv_job("p4", "sun-ethernet", 1024, noise=bad)
+
+    def test_noise_distinguishes_jobs(self):
+        """A noisy job is a different measurement — different hash,
+        different serialization, different cache address."""
+        from repro.core.cache import job_key
+
+        det = sendrecv_job("p4", "sun-ethernet", 1024)
+        noisy = sendrecv_job("p4", "sun-ethernet", 1024, noise=1.0)
+        assert det != noisy
+        assert job_key(det) != job_key(noisy)
+        # Deterministic serialization is byte-stable with the
+        # pre-noise format (existing caches/goldens stay valid).
+        assert "noise" not in det.to_dict()
+        assert noisy.to_dict()["noise"] == 1.0
+        assert MeasurementJob.from_dict(noisy.to_dict()) == noisy
+        assert MeasurementJob.from_dict(det.to_dict()) == det
+        assert "noise=1" in noisy.label() and "noise" not in det.label()
+
 
 class TestSerialization:
     def test_dict_round_trip(self):
@@ -131,3 +163,17 @@ class TestSerialization:
         wider = spec.with_(platforms=("sun-ethernet", "alpha-fddi"))
         assert wider.platforms == ("sun-ethernet", "alpha-fddi")
         assert spec.platforms == ("sun-ethernet",)
+
+    def test_noise_round_trips(self):
+        spec = EvaluationSpec(noise=1.5, seeds=(0, 1))
+        assert spec.to_dict()["noise"] == 1.5
+        clone = EvaluationSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.noise == 1.5
+        assert clone.jobs() == spec.jobs()
+
+    def test_deterministic_spec_serializes_without_noise_field(self):
+        """noise=0 must not change the on-disk spec format: old spec
+        files and the golden fixtures predate the knob."""
+        assert "noise" not in EvaluationSpec().to_dict()
+        assert EvaluationSpec.from_dict(EvaluationSpec().to_dict()).noise == 0.0

@@ -19,7 +19,7 @@ import pytest
 
 from repro.net import AllnodeSwitch, AtmLan, AtmWan, Ethernet, FddiRing
 from repro.net.atm import _CELL_BYTES, cells_for
-from repro.sim import Environment, Tracer
+from repro.sim import Environment, RandomStreams, Tracer
 
 # ----------------------------------------------------------------------
 # Frozen pre-fast-path reference implementations
@@ -263,6 +263,53 @@ class TestSeededBackoffEquivalence:
         run_scenario(Ethernet, current_transfer,
                      [("a", 0, 1, 100_000, 0.0)], backoff_rng=rng)
         assert rng.random() == random.Random(99).random()
+
+
+class TestPlatformNoiseEquivalence:
+    """The ``--noise`` path (``enable_noise`` over named RandomStreams,
+    exactly what ``build_platform`` wires) must keep the fast path
+    bit-exact: a seeded backoff draw only exists under contention,
+    which already forces the per-frame path."""
+
+    @staticmethod
+    def noisy_factory(seed, scale=1.0):
+        def factory(env, node_count, tracer=None):
+            net = Ethernet(env, node_count, tracer=tracer)
+            net.enable_noise(RandomStreams(seed), scale)
+            return net
+        return factory
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_contended_noise_is_exact(self, seed):
+        senders = [
+            ("a", 0, 1, 50_000, 0.0),
+            ("b", 2, 3, 20_000, 0.003),
+            ("c", 3, 2, 12_345, 0.0071),
+        ]
+        factory = self.noisy_factory(seed)
+        assert_identical(factory, ethernet_reference, senders)
+
+    def test_scaled_noise_is_exact(self):
+        senders = [("a", 0, 1, 50_000, 0.0), ("b", 2, 3, 20_000, 0.003)]
+        factory = self.noisy_factory(11, scale=2.5)
+        assert_identical(factory, ethernet_reference, senders)
+
+    @pytest.mark.parametrize("nbytes", [1460, 65_536, 1_000_000])
+    def test_uncontended_noise_stays_on_bulk_path(self, nbytes):
+        """No rival, no draw: a noisy uncontended transfer still
+        coalesces and matches the per-frame reference bit for bit."""
+        factory = self.noisy_factory(42)
+        assert_identical(factory, ethernet_reference,
+                         [("a", 0, 1, nbytes, 0.0)])
+
+    def test_uncontended_noise_schedules_few_events(self):
+        """Noise enabled but uncontended: the coalescing still fires."""
+        env = Environment()
+        net = Ethernet(env, 2)
+        net.enable_noise(RandomStreams(5))
+        process = env.process(net.transfer(0, 1, 1_000_000))
+        env.run(until=process)
+        assert env._eid() < 20
 
 
 class TestFastPathIsActuallyFast:

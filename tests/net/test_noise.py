@@ -1,0 +1,183 @@
+"""Seeded stochastic network models (the --noise knob).
+
+Every medium owns a jitter/backoff model drawn from a *named* stream
+of the platform's :class:`RandomStreams`.  The contract these tests
+pin:
+
+* disabled by default — a network without ``enable_noise`` simulates
+  exactly what it always did;
+* reproducible — the same (medium, traffic, seed) triple replays the
+  same timings bit for bit;
+* real — different seeds actually produce different timings;
+* isolated — each medium draws from its own stream, so enabling one
+  model never perturbs another consumer of the platform's streams.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.hardware.catalog import build_platform
+from repro.net import AllnodeSwitch, AtmLan, AtmWan, Ethernet, FddiRing
+from repro.net.base import Network
+from repro.sim import Environment, RandomStreams
+
+JITTER_MEDIA = [
+    pytest.param(FddiRing, id="fddi"),
+    pytest.param(AtmLan, id="atm-lan"),
+    pytest.param(AtmWan, id="atm-wan"),
+    pytest.param(AllnodeSwitch, id="allnode"),
+]
+
+ALL_MEDIA = JITTER_MEDIA + [pytest.param(Ethernet, id="ethernet")]
+
+
+def run_uncontended(factory, seed=None, nbytes=20_000):
+    """One 0->1 transfer; returns its completion time."""
+    env = Environment()
+    net = factory(env, 4)
+    if seed is not None:
+        net.enable_noise(RandomStreams(seed))
+    process = env.process(net.transfer(0, 1, nbytes))
+    env.run(until=process)
+    return env.now
+
+
+def run_contended(factory, seed=None, nbytes=20_000):
+    """Two overlapping transfers; returns both completion times."""
+    env = Environment()
+    net = factory(env, 4)
+    if seed is not None:
+        net.enable_noise(RandomStreams(seed))
+    done = {}
+
+    def sender(name, src, dst, delay):
+        yield env.timeout(delay)
+        yield from net.transfer(src, dst, nbytes)
+        done[name] = env.now
+
+    env.process(sender("a", 0, 1, 0.0))
+    env.process(sender("b", 2, 3, 0.001))
+    env.run()
+    return done
+
+
+class TestEnableNoise:
+    def test_base_network_has_no_model(self):
+        net = Network(Environment(), 2)
+        with pytest.raises(NetworkError, match="no stochastic model"):
+            net.enable_noise(RandomStreams(0))
+
+    @pytest.mark.parametrize("factory", ALL_MEDIA)
+    def test_nonpositive_scale_rejected(self, factory):
+        net = factory(Environment(), 4)
+        for scale in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(NetworkError, match="noise scale"):
+                net.enable_noise(RandomStreams(0), scale)
+
+    @pytest.mark.parametrize("factory", ALL_MEDIA)
+    def test_enable_noise_is_idempotent_in_amplitude(self, factory):
+        """Re-attaching at the same scale never compounds: the
+        amplitude is always nominal * scale, not previous * scale."""
+        net = factory(Environment(), 4)
+        net.enable_noise(RandomStreams(0), 2.0)
+        first = getattr(net, "_max_jitter", None) or net._max_backoff
+        net.enable_noise(RandomStreams(0), 2.0)
+        second = getattr(net, "_max_jitter", None) or net._max_backoff
+        assert second == first
+
+    @pytest.mark.parametrize(
+        "factory,stream_name",
+        [
+            pytest.param(FddiRing, "fddi.token", id="fddi"),
+            pytest.param(AtmLan, "atm.switch", id="atm-lan"),
+            pytest.param(AtmWan, "atm.switch", id="atm-wan"),
+            pytest.param(AllnodeSwitch, "allnode.switch", id="allnode"),
+        ],
+    )
+    def test_each_medium_uses_its_own_named_stream(self, factory, stream_name):
+        """The jitter generator is a *named* stream, so enabling one
+        medium's model never perturbs another stream's consumers."""
+        streams = RandomStreams(7)
+        net = factory(Environment(), 4)
+        net.enable_noise(streams)
+        assert net._jitter_rng is streams.stream(stream_name)
+        assert net._max_jitter > 0.0
+
+
+class TestDisabledByDefault:
+    @pytest.mark.parametrize("factory", ALL_MEDIA)
+    def test_default_matches_pre_noise_behavior(self, factory):
+        """A medium without enable_noise is exactly deterministic."""
+        assert run_uncontended(factory) == run_uncontended(factory)
+        assert run_contended(factory) == run_contended(factory)
+
+    @pytest.mark.parametrize("factory", JITTER_MEDIA)
+    def test_enabling_noise_changes_timings(self, factory):
+        assert run_uncontended(factory, seed=0) != run_uncontended(factory)
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("factory", ALL_MEDIA)
+    def test_same_seed_is_bit_identical(self, factory):
+        assert run_contended(factory, seed=3) == run_contended(factory, seed=3)
+
+    @pytest.mark.parametrize("factory", ALL_MEDIA)
+    def test_different_seeds_differ(self, factory):
+        assert run_contended(factory, seed=0) != run_contended(factory, seed=1)
+
+    @pytest.mark.parametrize("factory", JITTER_MEDIA)
+    def test_scale_stretches_jitter(self, factory):
+        """scale multiplies the model's nominal amplitude."""
+        net_1x = factory(Environment(), 4)
+        net_1x.enable_noise(RandomStreams(0))
+        net_3x = factory(Environment(), 4)
+        net_3x.enable_noise(RandomStreams(0), 3.0)
+        assert net_3x._max_jitter == pytest.approx(3.0 * net_1x._max_jitter)
+
+
+class TestBuildPlatformWiring:
+    @pytest.mark.parametrize("bad", [-0.5, float("nan"), float("inf")])
+    def test_invalid_noise_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="noise"):
+            build_platform("sun-ethernet", processors=2, noise=bad)
+
+    def test_default_platform_stays_deterministic(self):
+        platform = build_platform("sun-ethernet", processors=2)
+        assert platform.network._backoff_rng is None
+
+    @pytest.mark.parametrize(
+        "name", ["sun-ethernet", "alpha-fddi", "sun-atm-lan", "sun-atm-wan", "sp1-switch"]
+    )
+    def test_noise_attaches_the_medium_model(self, name):
+        platform = build_platform(name, processors=2, noise=1.0)
+        net = platform.network
+        if isinstance(net, Ethernet):
+            assert net._backoff_rng is platform.rng.stream("ethernet.backoff")
+        else:
+            assert net._jitter_rng is not None
+            assert net._max_jitter > 0.0
+
+    def test_stream_names_show_the_attached_model(self):
+        platform = build_platform("alpha-fddi", processors=2, noise=1.0)
+        assert "fddi.token" in platform.rng.stream_names()
+        assert build_platform("alpha-fddi", processors=2).rng.stream_names() == ()
+
+    def test_noise_scale_reaches_the_model(self):
+        half = build_platform("alpha-fddi", processors=2, noise=0.5).network
+        full = build_platform("alpha-fddi", processors=2, noise=1.0).network
+        assert half._max_jitter == pytest.approx(0.5 * full._max_jitter)
+
+    def test_ethernet_uncontended_transfer_never_draws(self):
+        """Without contention there is no backoff draw, so a noisy
+        uncontended platform still produces the deterministic time —
+        and leaves the stream untouched for later consumers."""
+        platform = build_platform("sun-ethernet", processors=2, noise=1.0)
+        process = platform.env.process(platform.network.transfer(0, 1, 100_000))
+        platform.env.run(until=process)
+        baseline = build_platform("sun-ethernet", processors=2)
+        process = baseline.env.process(baseline.network.transfer(0, 1, 100_000))
+        baseline.env.run(until=process)
+        assert platform.env.now == baseline.env.now
+        # First post-run draw == first draw of a fresh identical stream.
+        fresh = RandomStreams(0).stream("ethernet.backoff")
+        assert platform.rng.stream("ethernet.backoff").random() == fresh.random()

@@ -54,6 +54,25 @@ class TestEvaluate:
                      "--platforms", "alpha-fddi"]) == 2
         assert "not both" in capsys.readouterr().out
 
+    def test_seed_and_seeds_conflict(self, capsys):
+        """--seed next to --seeds used to be silently ignored; now the
+        ambiguity is an explicit error."""
+        assert main(["evaluate", "--seed", "7",
+                     "--seeds", "0", "1", "2"]) == 2
+        out = capsys.readouterr().out
+        assert "either --seed or --seeds" in out
+
+    def test_seed_alone_still_works_as_the_single_replication(self, capsys):
+        """--seed keeps its meaning; only the combination is an error
+        (the spec validation error proves --seed was accepted and the
+        run proceeded to platform validation)."""
+        assert main(["evaluate", "--platform", "bogus", "--seed", "7"]) == 2
+        assert "unknown platform" in capsys.readouterr().out
+
+    def test_negative_noise_rejected(self, capsys):
+        assert main(["evaluate", "--noise", "-1"]) == 2
+        assert "noise" in capsys.readouterr().out
+
     @pytest.mark.slow
     def test_sweep_prints_comparison_and_json(self, capsys, tmp_path):
         import json
@@ -108,6 +127,22 @@ class TestEvaluate:
         assert "mean ±95% CI over 3 seeds" in out
         assert "±" in out
         assert "sun-ethernet/balanced" in out
+
+    @pytest.mark.slow
+    def test_noise_flag_runs_a_stochastic_sweep(self, capsys, tmp_path):
+        """Bare --noise (amplitude 1.0) drives the seeded network
+        models end to end; the noisy sweep caches under its own
+        entries, so a re-run is pure cache hits."""
+        cache_dir = str(tmp_path / "cache")
+        argv = ["evaluate", "--tools", "p4", "--processors", "2",
+                "--seeds", "0", "1", "--noise", "--stats",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "mean ±95% CI over 2 seeds" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "%s: 0 simulated" % cache_dir in second
 
 
 class TestNoCommand:
