@@ -1,0 +1,107 @@
+"""Streaming execution: live progress, cooperative cancel, resume.
+
+``Scheduler.run`` blocks until a sweep is done; for a measurement
+*campaign* — the grids the paper's methodology is built for — you want
+to watch it and steer it.  ``Scheduler.start`` returns a ``RunHandle``
+whose ``events()`` narrate the run live (``JobStarted`` /
+``JobFinished`` / ``CacheHit`` / ``RunCompleted``), whose
+``progress()`` snapshots done/total/hit-rate/ETA any time, and whose
+``cancel()`` stops dispatching while in-flight jobs finish and
+persist.
+
+The demo makes the control loop concrete:
+
+1. start a sweep over a disk cache and render progress from events,
+2. cancel it partway — ``result()`` raises ``RunCancelled``, but every
+   finished job is already in the cache,
+3. resume by re-running the same spec over the same cache: only the
+   never-finished jobs simulate, narrated by ``CacheHit`` events.
+
+Run with::
+
+    PYTHONPATH=src python examples/streaming_progress.py
+"""
+
+import shutil
+import tempfile
+
+from repro.core import EvaluationSpec, Scheduler
+from repro.core.progress import CacheHit, JobFinished, RunCompleted
+from repro.errors import RunCancelled
+
+#: Small workloads keep the example interactive.
+SPEC = EvaluationSpec(
+    tools=("express", "p4", "pvm"),
+    tpl_sizes=(1024, 16384),
+    global_sum_ints=5_000,
+    apps=("montecarlo",),
+    app_params={"montecarlo": {"samples": 20_000}},
+)
+
+#: Cancel the first launch after this many finished jobs.
+CANCEL_AFTER = 6
+
+
+def narrate(event, handle) -> None:
+    """One log line per event — what a progress bar would consume."""
+    snapshot = handle.progress()
+    if isinstance(event, JobFinished):
+        print("  [%2d/%d] simulated  %-28s %.0f us"
+              % (snapshot.completed, snapshot.total,
+                 event.job.short_label(), event.wall_seconds * 1e6))
+    elif isinstance(event, CacheHit):
+        print("  [%2d/%d] cache hit  %s"
+              % (snapshot.completed, snapshot.total, event.job.short_label()))
+    elif isinstance(event, RunCompleted):
+        print("  %s" % snapshot.render())
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="repro-stream-")
+    try:
+        print("sweep: %d jobs over cache %s" % (SPEC.job_count(), cache_dir))
+
+        # -- 1+2: a streaming run, cancelled partway -------------------
+        print()
+        print("first launch (cancelling after %d jobs):" % CANCEL_AFTER)
+        first = Scheduler(cache_dir=cache_dir)
+        handle = first.start(SPEC)
+        finished = 0
+        for event in handle.events():
+            narrate(event, handle)
+            if isinstance(event, JobFinished):
+                finished += 1
+                if finished == CANCEL_AFTER:
+                    print("  -> cancel(): queued jobs are dropped, "
+                          "in-flight ones finish and persist")
+                    handle.cancel()
+        try:
+            handle.result()
+        except RunCancelled as cancelled:
+            print("  result(): RunCancelled — %s" % cancelled)
+        done = handle.progress().simulated
+
+        # -- 3: resume over the same cache directory -------------------
+        print()
+        print("relaunch over the same cache (fresh process, fresh scheduler):")
+        resumed = Scheduler(cache_dir=cache_dir)
+        hits = {"n": 0}
+
+        def count_hits(event):
+            if isinstance(event, CacheHit):
+                hits["n"] += 1
+
+        results = resumed.run(SPEC, on_event=count_hits)
+        print("  simulated %d jobs, %d served from cache (expected %d + %d)"
+              % (resumed.simulations_run, hits["n"],
+                 SPEC.job_count() - done, done))
+        assert resumed.simulations_run == SPEC.job_count() - done
+
+        print()
+        print(results.comparison())
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

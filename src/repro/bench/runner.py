@@ -57,11 +57,13 @@ def run_experiments(
 def run_evaluation(
     spec,
     jobs: int = 1,
+    backend: Optional[str] = None,
     cache=None,
     cache_dir: Optional[str] = None,
     shards: int = 1,
     stats: bool = False,
     echo: bool = False,
+    on_event=None,
 ):
     """Run an evaluation spec through the scheduler.
 
@@ -70,7 +72,12 @@ def run_evaluation(
     spec:
         An :class:`~repro.core.spec.EvaluationSpec`.
     jobs:
-        Worker processes (1 = serial in-process execution).
+        Workers (1 = serial in-process execution; ``"auto"`` = one
+        per CPU).
+    backend:
+        Executor backend name (one of
+        :data:`~repro.core.executors.EXECUTOR_BACKENDS`); default is
+        serial for one worker, a process pool otherwise.
     cache:
         Optional :class:`~repro.core.cache.ResultCache` shared
         across calls, so successive sweeps reuse measurements.
@@ -84,6 +91,12 @@ def run_evaluation(
         one row per seed.
     echo:
         Print the cross-configuration comparison table.
+    on_event:
+        Optional callable receiving every
+        :class:`~repro.core.progress.RunEvent` of the streaming run
+        (job started/finished, cache hits, completion) — the hook for
+        progress bars and dashboards.  May fire from
+        executor-internal threads.
 
     Returns
     -------
@@ -95,12 +108,12 @@ def run_evaluation(
     # Context-manage the scheduler: its process-pool executor keeps a
     # persistent worker pool, which must not outlive this call.
     with Scheduler(
-        executor=create_executor(jobs),
+        executor=create_executor(jobs, backend=backend),
         cache=cache,
         cache_dir=cache_dir,
         shards=shards,
     ) as scheduler:
-        result_set = scheduler.run(spec)
+        result_set = scheduler.run(spec, on_event=on_event)
     if echo:
         print(result_set.comparison(stats=stats))
     return result_set

@@ -13,11 +13,29 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro._version import __version__
 
 __all__ = ["build_parser", "main"]
+
+
+def _jobs_argument(text: str):
+    """``--jobs`` accepts a worker count or ``auto`` (one per CPU).
+
+    Range validation (>= 1) happens in ``create_executor`` so the API
+    and the CLI share one error message; argparse only rejects values
+    that are neither integers nor ``auto``.
+    """
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a worker count or 'auto', got %r" % text
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +83,18 @@ simulated variance:
     repro evaluate --platforms sun-ethernet alpha-fddi \\
         --profile balanced end-user --seeds 0 1 2 --noise \\
         --cache-dir .repro-cache --jobs 4 --stats --json sweep.json
+
+streaming execution:
+  Sweeps run through the streaming scheduler (Scheduler.start ->
+  RunHandle).  --progress narrates the run live on stderr —
+  done/total, simulated vs cache-hit counts and an ETA — while stdout
+  keeps only the report (safe to pipe/--json).  --backend picks the
+  executor: serial, process (worker processes; the default for
+  --jobs > 1) or async (an asyncio event loop, --jobs concurrent
+  simulations).  --jobs auto sizes the pool to the machine's CPUs.
+  Ctrl-C cancels cooperatively: in-flight jobs finish and persist, so
+  an interrupted sweep resumes over the same --cache-dir exactly like
+  a killed one.
 """,
     )
     evaluate.add_argument("--platform", default=None,
@@ -88,11 +118,20 @@ simulated variance:
                           help="enable the seeded stochastic network models "
                                "at SCALE x their nominal amplitude (bare "
                                "--noise means 1.0; default off)")
-    evaluate.add_argument("--jobs", type=int, default=1,
-                          help="worker processes for the simulations "
-                               "(default 1); the pool starts once and is "
-                               "reused across every scheduler pass of the "
-                               "run")
+    evaluate.add_argument("--jobs", type=_jobs_argument, default=1,
+                          metavar="N|auto",
+                          help="workers for the simulations (default 1; "
+                               "'auto' = one per CPU); the pool starts once "
+                               "and is reused across every scheduler pass "
+                               "of the run")
+    evaluate.add_argument("--backend", choices=("serial", "process", "async"),
+                          default=None,
+                          help="executor backend (default: serial for "
+                               "--jobs 1, process otherwise; async runs "
+                               "--jobs simulations on an asyncio loop)")
+    evaluate.add_argument("--progress", action="store_true",
+                          help="stream live progress (done/total, cache "
+                               "hits, ETA) to stderr while the sweep runs")
     evaluate.add_argument("--cache-dir", metavar="DIR", default=None,
                           help="persistent measurement cache: interrupted "
                                "sweeps resume, repeated sweeps re-simulate "
@@ -128,6 +167,40 @@ def _cmd_list() -> int:
     print("profiles:    %s" % ", ".join(sorted(PRESET_PROFILES)))
     print("experiments: %s" % ", ".join(available_experiments()))
     return 0
+
+
+def _run_with_progress(scheduler, spec, stream=None):
+    """Drive ``spec`` through ``Scheduler.start``, painting a live
+    one-line progress display on ``stream`` (stderr by default, so
+    stdout stays clean for reports and --json)."""
+    from repro.core.progress import CacheHit, JobFinished, RunCompleted
+
+    stream = stream if stream is not None else sys.stderr
+    handle = scheduler.start(spec)
+    painted = 0  # pad \r redraws so a shrinking line leaves no residue
+
+    def paint(tail: str = "") -> None:
+        nonlocal painted
+        line = handle.progress().render()
+        stream.write("\r" + line.ljust(painted) + tail)
+        painted = len(line)
+
+    try:
+        for event in handle.events():
+            if isinstance(event, (JobFinished, CacheHit)):
+                paint()
+            elif isinstance(event, RunCompleted):
+                paint("\n")
+            stream.flush()
+    except BaseException:
+        # Ctrl-C (or any consumer failure) mid-stream: cancel
+        # cooperatively and wait so in-flight jobs flush to the cache
+        # before the exception propagates.
+        handle.cancel()
+        handle.wait()
+        stream.write("\n")
+        raise
+    return handle.result()
 
 
 def _cmd_evaluate(args) -> int:
@@ -173,11 +246,21 @@ def _cmd_evaluate(args) -> int:
         # The scheduler's context manager shuts the (persistent,
         # reused-across-passes) worker pool down when the run is over.
         with Scheduler(
-            executor=create_executor(args.jobs),
+            executor=create_executor(args.jobs, backend=args.backend),
             cache_dir=args.cache_dir,
             shards=args.shards,
         ) as scheduler:
-            result_set = scheduler.run(spec)
+            if args.progress:
+                result_set = _run_with_progress(scheduler, spec)
+            else:
+                result_set = scheduler.run(spec)
+    except KeyboardInterrupt:
+        # The streaming scheduler cancelled cooperatively and flushed
+        # every finished job before this propagated.
+        print("interrupted: completed jobs are persisted%s"
+              % (" — re-run with the same --cache-dir to resume"
+                 if args.cache_dir else " in this process's cache only"))
+        return 130
     except ReproError as error:
         print("error: %s" % error)
         return 2

@@ -27,9 +27,25 @@ from repro.core.metrics import (
 )
 from repro.core.ranking import PRIMITIVE_CLASSES, primitive_rankings, summary_table
 from repro.core.results import ResultSet
+from repro.core.executors import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    JobOutcome,
+    resolve_workers,
+)
+from repro.core.progress import (
+    CacheHit,
+    JobFinished,
+    JobStarted,
+    Progress,
+    RunCompleted,
+    RunEvent,
+)
 from repro.core.scheduler import (
+    AsyncExecutor,
     JobTelemetry,
     ProcessPoolExecutor,
+    RunHandle,
     Scheduler,
     SerialExecutor,
     create_executor,
@@ -51,10 +67,14 @@ __all__ = [
     "ADL_CRITERIA",
     "APL",
     "APPLICATION_DEVELOPER",
+    "AsyncExecutor",
     "BALANCED",
     "CACHE_SCHEMA_VERSION",
     "CacheBackend",
+    "CacheHit",
     "Criterion",
+    "EXECUTOR_BACKENDS",
+    "Executor",
     "DEFAULT_APP_PARAMS",
     "DEFAULT_TPL_SIZES",
     "DiskBackend",
@@ -63,6 +83,9 @@ __all__ = [
     "EvaluationReport",
     "EvaluationSpec",
     "Evaluator",
+    "JobFinished",
+    "JobOutcome",
+    "JobStarted",
     "JobTelemetry",
     "Measurement",
     "MeasurementJob",
@@ -70,8 +93,12 @@ __all__ = [
     "MemoryBackend",
     "NS",
     "ProcessPoolExecutor",
+    "Progress",
     "ResultCache",
     "ResultSet",
+    "RunCompleted",
+    "RunEvent",
+    "RunHandle",
     "SampleStats",
     "Scheduler",
     "SerialExecutor",
@@ -96,6 +123,7 @@ __all__ = [
     "primitive_rankings",
     "rank_by_value",
     "ratio_scores",
+    "resolve_workers",
     "summarize",
     "summary_table",
     "t_critical",

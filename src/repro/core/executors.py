@@ -1,0 +1,432 @@
+"""Execution backends behind one streaming ``Executor`` protocol.
+
+Earlier revisions grew an ad-hoc executor duo — ``run(jobs)`` returning
+a list and ``run_instrumented(jobs, retries)`` returning a generator —
+and every new backend had to implement both with subtly matching
+semantics.  This module collapses them into a single protocol method::
+
+    submit(jobs, retries=1) -> Iterator[JobOutcome]
+
+``jobs`` may be any (possibly lazy) iterable; outcomes stream back
+**in job order** while later jobs may still be executing, which is
+what lets the scheduler persist each finished measurement immediately
+(kill/cancel-and-resume) and feed live progress events.  The uniform
+lifecycle is ``close()`` / context manager, and capability flags
+(:attr:`Executor.name`, :attr:`Executor.supports_streaming`,
+:attr:`Executor.max_workers`) let callers introspect a backend without
+``isinstance`` checks.  Three backends implement it:
+
+* :class:`SerialExecutor` — in-process, one job at a time (default).
+* :class:`ProcessPoolExecutor` — ``concurrent.futures`` worker
+  processes, jobs chunked through a sliding window over a persistent,
+  lazily-created pool.
+* :class:`AsyncExecutor` — an asyncio event loop (semaphore-bounded
+  ``asyncio.to_thread`` concurrency) driven in a background thread,
+  so asyncio-native deployments and the synchronous scheduler share
+  one backend.
+
+A future remote-worker backend only has to implement ``submit`` (and
+share the sharded disk cache); the protocol-conformance suite in
+``tests/core/test_executor_protocol.py`` is written to be reused by it.
+
+The legacy entry points survive as thin conveniences on the base
+class: ``run(jobs)`` drains ``submit`` into a value list and
+``run_instrumented`` is an alias for ``submit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import os
+import queue
+import threading
+import time
+from collections import deque
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Union
+
+from repro.core.jobs import MeasurementJob, execute_job
+from repro.errors import EvaluationError
+
+__all__ = [
+    "JobOutcome",
+    "execute_job_instrumented",
+    "execute_job_chunk",
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "AsyncExecutor",
+    "EXECUTOR_BACKENDS",
+    "resolve_workers",
+    "create_executor",
+]
+
+
+class JobOutcome(NamedTuple):
+    """What instrumented execution reports per job."""
+
+    value: Optional[float]
+    wall_seconds: float
+    attempts: int
+
+
+def execute_job_instrumented(job: MeasurementJob, retries: int = 1) -> JobOutcome:
+    """Run one job, timing it and retrying transient failures.
+
+    Module-level so it pickles into :mod:`concurrent.futures` worker
+    processes.
+    """
+    if retries < 1:
+        raise EvaluationError("retries must be >= 1")
+    start = time.perf_counter()
+    for attempt in range(1, retries + 1):
+        try:
+            value = execute_job(job)
+        except EvaluationError:
+            raise  # misconfiguration: retrying cannot help
+        except Exception:
+            if attempt == retries:
+                raise
+        else:
+            return JobOutcome(value, time.perf_counter() - start, attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def execute_job_chunk(jobs: Sequence[MeasurementJob], retries: int = 1) -> List[JobOutcome]:
+    """Run a chunk of jobs in one worker round-trip (module-level so it
+    pickles into :mod:`concurrent.futures` worker processes)."""
+    return [execute_job_instrumented(job, retries) for job in jobs]
+
+
+class Executor(object):
+    """The execution-backend protocol: ``submit`` plus a lifecycle.
+
+    Subclasses implement :meth:`submit`; everything else — the legacy
+    ``run``/``run_instrumented`` entry points, ``close`` and the
+    context-manager protocol — comes from this base class.  Backends
+    with real resources (a worker pool) override :meth:`close`.
+    """
+
+    #: Short machine-readable backend name (lands in telemetry).
+    name = "executor"
+
+    #: True when ``submit`` yields outcomes as they finish rather than
+    #: materializing the whole batch first.  Every built-in backend
+    #: streams; the flag exists so tooling can warn about third-party
+    #: backends that buffer (their kill/cancel persistence is coarser).
+    supports_streaming = True
+
+    #: Upper bound on concurrently executing jobs (1 = serial).
+    max_workers = 1
+
+    def submit(
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        """Execute ``jobs``, yielding one :class:`JobOutcome` per job
+        **in job order**.  ``jobs`` may be lazy; implementations must
+        not materialize it wholesale.  Closing the returned generator
+        early must drop work that has not started."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; a closed executor
+        may be reused — resources are rebuilt lazily)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- legacy conveniences (pre-protocol API) ------------------------
+
+    def run(self, jobs: Iterable[MeasurementJob]) -> List[Optional[float]]:
+        """Values only, as a list (drains :meth:`submit`)."""
+        return [outcome.value for outcome in self.submit(jobs)]
+
+    def run_instrumented(
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        """Alias for :meth:`submit` (the pre-protocol spelling)."""
+        return self.submit(jobs, retries)
+
+
+class SerialExecutor(Executor):
+    """Run jobs one after another in this process (the default)."""
+
+    name = "serial"
+    max_workers = 1
+
+    def submit(
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        # A generator, deliberately: the scheduler persists each
+        # outcome as it arrives, so a killed sweep keeps every job it
+        # finished instead of losing the whole batch.
+        for job in jobs:
+            yield execute_job_instrumented(job, retries)
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan jobs out over ``max_workers`` worker processes.
+
+    Jobs and samples are plain picklable values, so this is a thin
+    wrapper over :class:`concurrent.futures.ProcessPoolExecutor`;
+    result order matches job order.
+
+    The underlying pool is created lazily on the first batch and
+    **reused across calls**: repeated ``submit`` passes (the common
+    shape under sweep traffic — one ``Scheduler.run`` per spec) pay
+    worker startup once, not once per pass.  Call :meth:`close` (or
+    use the executor as a context manager) to shut the workers down;
+    an executor left open is reclaimed at interpreter exit.
+
+    Tools registered at run time (:func:`repro.tools.registry.register_tool`)
+    reach workers only on fork-based platforms (Linux): under the
+    ``spawn`` start method (macOS/Windows) each worker re-imports the
+    registry without the registration, so use :class:`SerialExecutor`
+    for custom tools there.
+    """
+
+    name = "process-pool"
+
+    #: Jobs shipped per worker round-trip (IPC amortization without
+    #: delaying result streaming much).
+    chunk_jobs = 4
+
+    #: Chunks kept in flight per worker: deep enough that no worker
+    #: idles while results stream back, shallow enough that a huge
+    #: grid never materializes on this side.
+    window_factor = 4
+
+    def __init__(self, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise EvaluationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def submit(
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        # Streams results in job order while the pool keeps working:
+        # chunks of jobs are submitted through a sliding window (no
+        # barrier — as each oldest chunk's results are yielded, fresh
+        # chunks are consumed from the (possibly lazy) iterable), so
+        # the scheduler persists finished work while later jobs are
+        # still simulating and a huge grid never materializes here.
+        jobs = iter(jobs)
+        in_flight: deque = deque()
+        window = self.max_workers * self.window_factor
+        try:
+            while True:
+                while len(in_flight) < window:
+                    chunk = list(itertools.islice(jobs, self.chunk_jobs))
+                    if not chunk:
+                        break
+                    in_flight.append(
+                        self._ensure_pool().submit(execute_job_chunk, chunk, retries)
+                    )
+                if not in_flight:
+                    return
+                for outcome in in_flight.popleft().result():
+                    yield outcome
+        except concurrent.futures.BrokenExecutor:
+            # A dead worker poisons the whole pool: drop it so the
+            # next pass starts fresh instead of failing forever.
+            self.close()
+            raise
+        finally:
+            # The consumer may abandon the generator early — an
+            # exception mid-sweep, itertools.islice, ctrl-C, a
+            # RunHandle cancel.  Without this, every chunk still in
+            # the window keeps simulating in the pool (and new
+            # consumers queue behind it).  Cancel whatever has not
+            # started; chunks already executing run to completion,
+            # which is as good as process pools offer.
+            for future in in_flight:
+                future.cancel()
+
+
+_NO_MORE_JOBS = object()
+
+
+class AsyncExecutor(Executor):
+    """Execute jobs on an asyncio event loop, ``max_workers`` at a time.
+
+    Each job runs in :func:`asyncio.to_thread` behind an
+    :class:`asyncio.Semaphore`, so up to ``max_workers`` simulations
+    overlap while the loop stays responsive.  The loop itself runs in
+    a dedicated background thread (``asyncio.run``), which is what
+    lets this backend serve the synchronous :meth:`submit` protocol:
+    outcomes cross back over a queue, in job order, as they finish.
+
+    This is the asyncio counterpart of :class:`ProcessPoolExecutor`
+    for workloads that are not CPU-bound in Python alone (simulations
+    releasing the GIL in numpy, future remote/IO-bound backends), and
+    the reference for the ROADMAP's async scheduler-backend item.
+    It holds no persistent resources: ``close`` is a no-op and every
+    ``submit`` call drives its own short-lived loop.
+    """
+
+    name = "async"
+
+    #: Jobs admitted to the loop beyond the ones actively executing —
+    #: bounds how far a lazy job iterable is consumed ahead.
+    window_factor = 2
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise EvaluationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def submit(
+        self, jobs: Iterable[MeasurementJob], retries: int = 1
+    ) -> Iterator[JobOutcome]:
+        if retries < 1:
+            raise EvaluationError("retries must be >= 1")
+        window = self.max_workers * self.window_factor
+        # Bounded: real backpressure.  The loop cannot run more than
+        # window queued + window in-flight outcomes ahead of the
+        # consumer, so a slow consumer (persisting to disk) never
+        # strands O(grid) finished-but-unstored outcomes in memory —
+        # store-as-completed kill/resume granularity stays comparable
+        # to the pool backend's.
+        outcomes: queue.Queue = queue.Queue(maxsize=window)
+        stop = threading.Event()
+
+        def deliver(item) -> bool:
+            """Put onto the bounded queue unless the consumer walked
+            away (then nobody will ever drain it: abandon instead of
+            blocking forever)."""
+            while not stop.is_set():
+                try:
+                    outcomes.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def pump() -> None:
+            try:
+                asyncio.run(self._drive(iter(jobs), retries, deliver, stop))
+            except BaseException as error:  # noqa: BLE001 — relayed to consumer
+                deliver(("error", error))
+            else:
+                deliver(("done", None))
+
+        thread = threading.Thread(
+            target=pump, name="repro-async-executor", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                kind, payload = outcomes.get()
+                if kind == "outcome":
+                    yield payload
+                elif kind == "done":
+                    return
+                else:
+                    raise payload
+        finally:
+            # Consumer finished or abandoned the stream: tell the loop
+            # to stop admitting jobs and wait for it to wind down (in-
+            # flight jobs finish; queued ones are cancelled).
+            stop.set()
+            thread.join()
+
+    async def _drive(self, jobs, retries, deliver, stop) -> None:
+        semaphore = asyncio.Semaphore(self.max_workers)
+
+        async def bounded(job):
+            async with semaphore:
+                return await asyncio.to_thread(execute_job_instrumented, job, retries)
+
+        window = self.max_workers * self.window_factor
+        in_flight: deque = deque()
+        try:
+            while not stop.is_set():
+                while len(in_flight) < window:
+                    job = next(jobs, _NO_MORE_JOBS)
+                    if job is _NO_MORE_JOBS:
+                        break
+                    in_flight.append(asyncio.ensure_future(bounded(job)))
+                if not in_flight:
+                    return
+                # Await strictly in submission order so outcomes leave
+                # in job order even when later jobs finish first.  The
+                # deliver() below intentionally blocks this loop when
+                # the consumer lags (already-started to_thread jobs
+                # keep running; no *new* work is admitted) — that IS
+                # the backpressure.
+                if not deliver(("outcome", await in_flight.popleft())):
+                    return
+        finally:
+            for task in in_flight:
+                task.cancel()
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
+
+
+#: Backend names :func:`create_executor` understands.
+EXECUTOR_BACKENDS = ("serial", "process", "async")
+
+
+def resolve_workers(jobs: Union[int, str, None]) -> int:
+    """Normalize a ``--jobs``-style request to a worker count.
+
+    ``"auto"`` (or ``None``) means one worker per CPU.  Anything else
+    must be a positive integer — the check runs *here*, before any
+    spec expansion or pool construction, so a bad value fails with a
+    clear :class:`~repro.errors.ReproError` instead of an unhelpful
+    downstream crash.
+    """
+    if jobs is None or (isinstance(jobs, str) and jobs.strip().lower() == "auto"):
+        return os.cpu_count() or 1
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise EvaluationError(
+            "jobs must be a positive integer or 'auto', got %r" % (jobs,)
+        )
+    if jobs < 1:
+        raise EvaluationError(
+            "jobs must be >= 1, got %d (use 'auto' for one worker per CPU)" % jobs
+        )
+    return jobs
+
+
+def create_executor(
+    jobs: Union[int, str, None] = 1, backend: Optional[str] = None
+) -> Executor:
+    """Executor for a ``--jobs N [--backend B]`` style request.
+
+    ``jobs`` accepts a positive integer or ``"auto"`` (one worker per
+    CPU).  ``backend`` picks the implementation explicitly — one of
+    :data:`EXECUTOR_BACKENDS` — while the default keeps the classic
+    behavior: serial for one worker, a process pool otherwise.
+    """
+    workers = resolve_workers(jobs)
+    if backend is None:
+        backend = "serial" if workers == 1 else "process"
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "process":
+        return ProcessPoolExecutor(max_workers=workers)
+    if backend == "async":
+        return AsyncExecutor(max_workers=workers)
+    raise EvaluationError(
+        "unknown executor backend %r; available: %s"
+        % (backend, ", ".join(EXECUTOR_BACKENDS))
+    )

@@ -99,6 +99,12 @@ class MeasurementJob:
             noise=float(data.get("noise", 0.0)),
         )
 
+    def short_label(self) -> str:
+        """Compact ``kind tool@platform`` tag — sized for the one-line
+        progress displays fed by the streaming run events, where the
+        full :meth:`label` (params, seed, noise) would not fit."""
+        return "%s %s@%s" % (self.kind, self.tool, self.platform)
+
     def label(self) -> str:
         """Short human-readable description (for logs and traces)."""
         inner = ", ".join("%s=%s" % item for item in self.params)

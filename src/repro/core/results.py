@@ -69,7 +69,9 @@ class ResultSet(object):
         missing = [job for job in spec.jobs() if job not in values]
         if missing:
             raise EvaluationError(
-                "result set is missing %d of the spec's jobs (first: %s)"
+                "result set is missing %d of the spec's jobs (first: %s) — "
+                "a cancelled or partial run cannot score; re-run the spec "
+                "over the same cache to fill the grid"
                 % (len(missing), missing[0].label())
             )
         self.spec = spec

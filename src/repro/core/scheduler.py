@@ -1,17 +1,36 @@
-"""Job scheduling: executors, the result cache, and per-job telemetry.
+"""Job scheduling: streaming runs, the result cache, and telemetry.
 
 The :class:`Scheduler` turns an
 :class:`~repro.core.spec.EvaluationSpec` into a
 :class:`~repro.core.results.ResultSet`.  Each
 :class:`~repro.core.jobs.MeasurementJob` is an independent simulation,
-so execution is embarrassingly parallel: the executor is pluggable —
-:class:`SerialExecutor` runs in-process,
-:class:`ProcessPoolExecutor` fans jobs out over worker processes via
-:mod:`concurrent.futures`.  Finished samples land in a
+so execution is embarrassingly parallel: any
+:class:`~repro.core.executors.Executor` backend can run it
+(:class:`~repro.core.executors.SerialExecutor` in-process,
+:class:`~repro.core.executors.ProcessPoolExecutor` over worker
+processes, :class:`~repro.core.executors.AsyncExecutor` on an asyncio
+loop).  Finished samples land in a
 :class:`~repro.core.cache.ResultCache` keyed by the job's content
-address, behind any :class:`~repro.core.cache.CacheBackend` — pass
-``cache_dir=`` for a persistent on-disk cache a killed sweep resumes
-from, and ``shards=`` to spread it over N sub-stores.
+address — pass ``cache_dir=`` for a persistent on-disk cache a killed
+(or cancelled) sweep resumes from, and ``shards=`` to spread it over
+N sub-stores.
+
+Execution itself is a *streaming* API.  :meth:`Scheduler.start`
+returns a :class:`RunHandle` — the run executes in a background
+thread while the handle exposes
+
+* :meth:`RunHandle.events` — typed
+  :class:`~repro.core.progress.RunEvent` records as they happen,
+* :meth:`RunHandle.progress` — done/total/hit-rate/ETA snapshots,
+* :meth:`RunHandle.cancel` — cooperative cancellation (in-flight work
+  finishes and persists; queued work is dropped), and
+* :meth:`RunHandle.result` — block until done and get the
+  :class:`~repro.core.results.ResultSet`.
+
+:meth:`Scheduler.run` and :meth:`Scheduler.run_jobs` are thin blocking
+wrappers over :meth:`start`, so the classic call sites (CLI, bench
+runner, the ``Evaluator`` shim) keep their exact semantics — including
+store-as-completed cache persistence and the golden fixtures.
 
 Every executed or cache-served job leaves a :class:`JobTelemetry`
 record (wall time, executor, hit/miss, attempt count) in
@@ -22,25 +41,50 @@ provenance alongside samples.
 
 from __future__ import annotations
 
-import concurrent.futures
-import itertools
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, Optional
 
 from repro.core.cache import MISSING, CacheBackend, ResultCache
-from repro.core.jobs import MeasurementJob, execute_job
-from repro.errors import EvaluationError
+from repro.core.executors import (
+    AsyncExecutor,
+    EXECUTOR_BACKENDS,
+    Executor,
+    JobOutcome,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    create_executor,
+    execute_job_chunk,
+    execute_job_instrumented,
+    resolve_workers,
+)
+from repro.core.jobs import MeasurementJob
+from repro.core.progress import (
+    CacheHit,
+    JobFinished,
+    JobStarted,
+    Progress,
+    RunCompleted,
+    RunEvent,
+)
+from repro.errors import EvaluationError, RunCancelled
 
 __all__ = [
     "ResultCache",
     "JobOutcome",
     "JobTelemetry",
+    "Executor",
     "SerialExecutor",
     "ProcessPoolExecutor",
+    "AsyncExecutor",
+    "EXECUTOR_BACKENDS",
     "create_executor",
+    "resolve_workers",
     "execute_job_instrumented",
+    "execute_job_chunk",
+    "RunHandle",
     "Scheduler",
 ]
 
@@ -48,21 +92,13 @@ __all__ = [
 _MISSING = MISSING
 
 
-class JobOutcome(NamedTuple):
-    """What instrumented execution reports per job."""
-
-    value: Optional[float]
-    wall_seconds: float
-    attempts: int
-
-
 @dataclass(frozen=True)
 class JobTelemetry:
     """Provenance of one sample in one scheduler pass.
 
     ``wall_seconds`` is ``None`` when the executor could not report
-    per-job timing (a custom executor without ``run_instrumented``);
-    cache hits record ``0.0`` — the sample cost nothing this pass.
+    per-job timing (a custom executor without ``submit``); cache hits
+    record ``0.0`` — the sample cost nothing this pass.
     """
 
     job: MeasurementJob
@@ -80,176 +116,262 @@ class JobTelemetry:
         }
 
 
-def execute_job_chunk(jobs: Sequence[MeasurementJob], retries: int = 1) -> List[JobOutcome]:
-    """Run a chunk of jobs in one worker round-trip (module-level so it
-    pickles into :mod:`concurrent.futures` worker processes)."""
-    return [execute_job_instrumented(job, retries) for job in jobs]
+class RunHandle(object):
+    """A live, observable, cancellable evaluation run.
 
+    Created by :meth:`Scheduler.start` / :meth:`Scheduler.start_jobs`;
+    the run itself executes in a daemon worker thread while this
+    handle is the control surface.  Any number of :meth:`events`
+    iterators may consume the stream (each sees every event from the
+    beginning); :meth:`progress` and :meth:`values` snapshot state
+    without consuming anything.
 
-def execute_job_instrumented(job: MeasurementJob, retries: int = 1) -> JobOutcome:
-    """Run one job, timing it and retrying transient failures.
-
-    Module-level so it pickles into :mod:`concurrent.futures` worker
-    processes.
-    """
-    if retries < 1:
-        raise EvaluationError("retries must be >= 1")
-    start = time.perf_counter()
-    for attempt in range(1, retries + 1):
-        try:
-            value = execute_job(job)
-        except EvaluationError:
-            raise  # misconfiguration: retrying cannot help
-        except Exception:
-            if attempt == retries:
-                raise
-        else:
-            return JobOutcome(value, time.perf_counter() - start, attempt)
-    raise AssertionError("unreachable")  # pragma: no cover
-
-
-class SerialExecutor(object):
-    """Run jobs one after another in this process (the default)."""
-
-    name = "serial"
-
-    def run(self, jobs: Iterable[MeasurementJob]) -> List[Optional[float]]:
-        return [execute_job(job) for job in jobs]
-
-    def run_instrumented(
-        self, jobs: Iterable[MeasurementJob], retries: int = 1
-    ) -> Iterator[JobOutcome]:
-        # A generator, deliberately: the scheduler persists each
-        # outcome as it arrives, so a killed sweep keeps every job it
-        # finished instead of losing the whole batch.
-        for job in jobs:
-            yield execute_job_instrumented(job, retries)
-
-
-class ProcessPoolExecutor(object):
-    """Fan jobs out over ``max_workers`` worker processes.
-
-    Jobs and samples are plain picklable values, so this is a thin
-    wrapper over :class:`concurrent.futures.ProcessPoolExecutor`;
-    result order matches job order.
-
-    The underlying pool is created lazily on the first batch and
-    **reused across calls**: repeated ``run``/``run_instrumented``
-    passes (the common shape under sweep traffic — one ``Scheduler.run``
-    per spec) pay worker startup once, not once per pass.  Call
-    :meth:`close` (or use the executor as a context manager) to shut
-    the workers down; an executor left open is reclaimed at
-    interpreter exit.
-
-    Tools registered at run time (:func:`repro.tools.registry.register_tool`)
-    reach workers only on fork-based platforms (Linux): under the
-    ``spawn`` start method (macOS/Windows) each worker re-imports the
-    registry without the registration, so use :class:`SerialExecutor`
-    for custom tools there.
+    Cancellation is cooperative: :meth:`cancel` returns immediately,
+    the run stops *dispatching* new jobs, jobs already handed to the
+    executor finish and persist to the cache, and the run ends with a
+    :class:`~repro.core.progress.RunCompleted` event flagged
+    ``cancelled``.  :meth:`result` then raises
+    :class:`~repro.errors.RunCancelled` — re-running the spec over the
+    same cache resumes exactly like a killed sweep.  Cancelling after
+    the last job was dispatched is a no-op (nothing left to drop).
     """
 
-    name = "process-pool"
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        jobs: Iterable[MeasurementJob],
+        total: Optional[int],
+        spec=None,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+        buffer_events: bool = True,
+    ) -> None:
+        self._scheduler = scheduler
+        self._spec = spec
+        self._on_event = on_event
+        self._buffer_events = buffer_events
+        self._total = total
+        self._values: Dict[MeasurementJob, Optional[float]] = {}
+        self._events = []
+        self._cond = threading.Condition()
+        self._cancel_event = threading.Event()
+        self._cancelled = False
+        self._finished = False
+        self._error: Optional[BaseException] = None
+        self._dispatched = 0
+        self._simulated = 0
+        self._cache_hits = 0
+        self._started_at = time.perf_counter()
+        self._elapsed: Optional[float] = None
+        self._thread = threading.Thread(
+            target=self._work, args=(jobs,), name="repro-run", daemon=True
+        )
+        self._thread.start()
 
-    #: Jobs shipped per worker round-trip in :meth:`run_instrumented`
-    #: (IPC amortization without delaying result streaming much).
-    chunk_jobs = 4
+    # -- worker side (called from the run thread / executor threads) --
 
-    #: Chunks kept in flight per worker: deep enough that no worker
-    #: idles while results stream back, shallow enough that a huge
-    #: grid never materializes on this side.
-    window_factor = 4
-
-    def __init__(self, max_workers: int = 2) -> None:
-        if max_workers < 1:
-            raise EvaluationError("max_workers must be >= 1")
-        self.max_workers = max_workers
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-
-    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.max_workers
-            )
-        return self._pool
-
-    def _chunksize(self, njobs: int) -> int:
-        """IPC amortization: aim for ~4 chunks per worker, capped so a
-        straggler chunk cannot idle the rest of the pool for long."""
-        return max(1, min(32, njobs // (self.max_workers * 4)))
-
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-
-    def __enter__(self) -> "ProcessPoolExecutor":
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
-
-    def run(self, jobs: Iterable[MeasurementJob]) -> List[Optional[float]]:
-        jobs = list(jobs)
-        if not jobs:
-            return []
-        pool = self._ensure_pool()
+    def _work(self, jobs: Iterable[MeasurementJob]) -> None:
         try:
-            return list(
-                pool.map(execute_job, jobs, chunksize=self._chunksize(len(jobs)))
-            )
-        except concurrent.futures.BrokenExecutor:
-            # A dead worker poisons the whole pool: drop it so the
-            # next pass starts fresh instead of failing forever.
-            self.close()
-            raise
-
-    def run_instrumented(
-        self, jobs: Iterable[MeasurementJob], retries: int = 1
-    ) -> Iterator[JobOutcome]:
-        # Streams results in job order while the pool keeps working:
-        # chunks of jobs are submitted through a sliding window (no
-        # barrier — as each oldest chunk's results are yielded, fresh
-        # chunks are consumed from the (possibly lazy) iterable), so
-        # the scheduler persists finished work while later jobs are
-        # still simulating and a huge grid never materializes here.
-        jobs = iter(jobs)
-        in_flight: deque = deque()
-        window = self.max_workers * self.window_factor
-        try:
-            while True:
-                while len(in_flight) < window:
-                    chunk = list(itertools.islice(jobs, self.chunk_jobs))
-                    if not chunk:
-                        break
-                    in_flight.append(
-                        self._ensure_pool().submit(execute_job_chunk, chunk, retries)
-                    )
-                if not in_flight:
-                    return
-                for outcome in in_flight.popleft().result():
-                    yield outcome
-        except concurrent.futures.BrokenExecutor:
-            self.close()
-            raise
+            self._scheduler._drive(jobs, self)
+        except BaseException as error:  # noqa: BLE001 — re-raised in result()
+            self._error = error
         finally:
-            # The consumer may abandon the generator early — an
-            # exception mid-sweep, itertools.islice, ctrl-C.  Without
-            # this, every chunk still in the window keeps simulating
-            # in the pool (and new consumers queue behind it).  Cancel
-            # whatever has not started; chunks already executing run
-            # to completion, which is as good as process pools offer.
-            for future in in_flight:
-                future.cancel()
+            with self._cond:
+                self._finished = True
+                if self._elapsed is None:
+                    self._elapsed = time.perf_counter() - self._started_at
+                self._cond.notify_all()
 
+    def _notify(self, event: RunEvent) -> None:
+        # Outside the lock: a misbehaving callback must not be able to
+        # deadlock progress()/events() consumers.
+        if self._on_event is not None:
+            self._on_event(event)
 
-def create_executor(jobs: int = 1):
-    """Executor for a ``--jobs N`` style request: serial for 1."""
-    if jobs < 1:
-        raise EvaluationError("jobs must be >= 1")
-    if jobs == 1:
-        return SerialExecutor()
-    return ProcessPoolExecutor(max_workers=jobs)
+    def _append(self, event: RunEvent) -> None:
+        """Under ``self._cond``.  Skipping the replay buffer when no
+        events() consumer can exist keeps blocking ``run``/``run_jobs``
+        at O(1) event memory — a huge grid must not retain 2N+1 event
+        records nobody will read."""
+        if self._buffer_events:
+            self._events.append(event)
+
+    def _job_started(self, job: MeasurementJob) -> None:
+        with self._cond:
+            event = JobStarted(job, self._dispatched)
+            self._dispatched += 1
+            self._values[job] = None  # reserve first-occurrence order
+            self._append(event)
+            self._cond.notify_all()
+        self._notify(event)
+
+    def _cache_hit(self, job: MeasurementJob, value: Optional[float]) -> None:
+        with self._cond:
+            event = CacheHit(job, value)
+            self._cache_hits += 1
+            self._values[job] = value
+            self._append(event)
+            self._cond.notify_all()
+        self._notify(event)
+
+    def _job_finished(self, job: MeasurementJob, outcome: JobOutcome) -> None:
+        with self._cond:
+            event = JobFinished(job, outcome.value, outcome.wall_seconds, outcome.attempts)
+            self._simulated += 1
+            self._values[job] = outcome.value
+            self._append(event)
+            self._cond.notify_all()
+        self._notify(event)
+
+    def _mark_cancelled(self) -> None:
+        with self._cond:
+            self._cancelled = True
+
+    def _drop_reservations(self, jobs: Iterable[MeasurementJob]) -> None:
+        """Forget dispatched-but-never-finished jobs (a cancelled run
+        whose executor dropped queued work): their ``None``
+        reservations must not read as samples."""
+        with self._cond:
+            for job in jobs:
+                self._values.pop(job, None)
+
+    def _completed(self) -> None:
+        with self._cond:
+            self._elapsed = time.perf_counter() - self._started_at
+            event = RunCompleted(
+                total=self._simulated + self._cache_hits,
+                simulated=self._simulated,
+                cache_hits=self._cache_hits,
+                cancelled=self._cancelled,
+                wall_seconds=self._elapsed,
+            )
+            self._append(event)
+            self._cond.notify_all()
+        self._notify(event)
+
+    # -- consumer side ------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the run has actually observed a cancel request
+        (not merely had one issued)."""
+        return self._cancelled
+
+    @property
+    def running(self) -> bool:
+        return not self._finished
+
+    @property
+    def spec(self):
+        return self._spec
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation and return immediately.
+
+        No new jobs are dispatched after the request is observed;
+        in-flight work finishes and its samples persist to the cache.
+        Idempotent; a no-op if the run already dispatched everything.
+        """
+        self._cancel_event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the run ends; True if it did within ``timeout``."""
+        with self._cond:
+            self._cond.wait_for(lambda: self._finished, timeout)
+            return self._finished
+
+    def events(self) -> Iterator[RunEvent]:
+        """Iterate the run's typed events, from the beginning, live.
+
+        Blocks between events while the run is active and ends after
+        the final event.  Several iterators may run concurrently; each
+        sees the full stream.
+        """
+        if not self._buffer_events:
+            raise EvaluationError(
+                "this run does not buffer events (blocking run()/run_jobs "
+                "keep event memory at O(1)); use Scheduler.start(), or its "
+                "on_event callback, to stream them"
+            )
+        index = 0
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: index < len(self._events) or self._finished
+                )
+                if index >= len(self._events):
+                    return
+                event = self._events[index]
+            index += 1
+            yield event
+
+    def progress(self) -> Progress:
+        """An immutable done/total/hit-rate/ETA snapshot, any time."""
+        with self._cond:
+            elapsed = self._elapsed
+            if elapsed is None:
+                elapsed = time.perf_counter() - self._started_at
+            return Progress(
+                total=self._total,
+                dispatched=self._dispatched,
+                completed=self._simulated + self._cache_hits,
+                simulated=self._simulated,
+                cache_hits=self._cache_hits,
+                elapsed_seconds=elapsed,
+                cancelled=self._cancelled,
+                finished=self._finished,
+            )
+
+    def values(self) -> Dict[MeasurementJob, Optional[float]]:
+        """Snapshot of the samples gathered so far (partial while the
+        run is live; dispatched-but-unfinished jobs read ``None``)."""
+        with self._cond:
+            return dict(self._values)
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until the run ends and return its result.
+
+        Started from a spec this is the familiar
+        :class:`~repro.core.results.ResultSet`; started from bare jobs
+        it is the ``job -> sample`` dict.  A failed run re-raises the
+        worker's exception; a cancelled run raises
+        :class:`~repro.errors.RunCancelled`.
+
+        An interrupt (ctrl-C) while waiting cancels the run
+        cooperatively and *joins the worker first*, so every completed
+        outcome is flushed to the cache before the KeyboardInterrupt
+        propagates — an interrupted sweep resumes like a killed one.
+        """
+        try:
+            finished = self.wait(timeout)
+        except BaseException:
+            self.cancel()
+            self._thread.join()
+            raise
+        if not finished:
+            raise EvaluationError(
+                "run still executing after %gs (cancel() it, or wait "
+                "without a timeout)" % timeout
+            )
+        if self._error is not None:
+            raise self._error
+        if self._cancelled:
+            raise RunCancelled(
+                "run cancelled after %d simulated + %d cached of %s jobs; "
+                "completed samples are persisted — re-run the spec over the "
+                "same cache to resume"
+                % (self._simulated, self._cache_hits,
+                   "?" if self._total is None else self._total)
+            )
+        if self._spec is None:
+            return dict(self._values)
+        from repro.core.results import ResultSet
+
+        telemetry = {
+            job: self._scheduler.telemetry[job]
+            for job in self._values
+            if job in self._scheduler.telemetry
+        }
+        return ResultSet(self._spec, self._values, telemetry=telemetry)
 
 
 class Scheduler(object):
@@ -258,9 +380,10 @@ class Scheduler(object):
     Parameters
     ----------
     executor:
-        Any object with ``run(jobs) -> samples`` (default serial);
-        executors that also offer ``run_instrumented(jobs, retries)``
-        get per-job wall times and retry handling.
+        Any :class:`~repro.core.executors.Executor` (default serial).
+        Pre-protocol executors still work: objects offering only
+        ``run_instrumented(jobs, retries)`` or ``run(jobs)`` are
+        adapted (the latter without per-job timing or streaming).
     cache:
         A shared :class:`~repro.core.cache.ResultCache`; pass one
         cache to several schedulers (or several ``run`` calls) to
@@ -276,6 +399,10 @@ class Scheduler(object):
     retries:
         Attempts per job before an unexpected simulation failure
         propagates (1 = no retry).
+
+    One scheduler drives one run at a time: start the next
+    :class:`RunHandle` after the previous one ended (the executor and
+    telemetry map are shared state).
     """
 
     def __init__(
@@ -315,57 +442,56 @@ class Scheduler(object):
         return getattr(self.executor, "name", type(self.executor).__name__)
 
     def _execute(self, pending: Iterable[MeasurementJob]) -> Iterator[JobOutcome]:
+        submit = getattr(self.executor, "submit", None)
+        if submit is not None:
+            return iter(submit(pending, retries=self.retries))
+        # Pre-protocol executors: `run_instrumented` is the old
+        # streaming spelling; plain `run(jobs)` executors predate
+        # telemetry (and streaming) entirely — hand them a real list;
+        # samples come back untimed, so wall_seconds is honestly
+        # unknown.
         runner = getattr(self.executor, "run_instrumented", None)
         if runner is not None:
             return iter(runner(pending, retries=self.retries))
-        # Plain `run(jobs)` executors predate telemetry (and streaming):
-        # hand them a real list; samples come back untimed, so
-        # wall_seconds is honestly unknown.
         return iter(
             JobOutcome(value, None, 1) for value in self.executor.run(list(pending))
         )
 
-    def run_jobs(
-        self, jobs: Iterable[MeasurementJob]
-    ) -> Dict[MeasurementJob, Optional[float]]:
-        """Samples for ``jobs``, simulating only what the cache lacks.
-
-        ``jobs`` may be any iterable — in particular a streaming spec
-        expansion (:meth:`EvaluationSpec.iter_jobs`).  It is consumed
-        lazily: cache hits resolve during the scan and misses flow
-        straight into the executor, so a huge grid never materializes
-        as a full job list on this side.
-
-        A job's ``noise`` amplitude is part of its content address,
-        so noisy and deterministic runs of the same configuration are
-        distinct cache entries — a noisy sweep never serves (or
-        poisons) a deterministic one.
-        """
-        results: Dict[MeasurementJob, Optional[float]] = {}
+    def _drive(self, jobs: Iterable[MeasurementJob], handle: RunHandle) -> None:
+        """The streaming core: dedupe, consult the cache, dispatch
+        misses, persist outcomes as they arrive, narrate everything
+        through ``handle``.  Runs on the handle's worker thread (the
+        job iterable itself may be consumed from an executor-internal
+        thread — :class:`~repro.core.executors.AsyncExecutor`)."""
         in_flight: deque = deque()
         seen = set()
 
         def misses() -> Iterator[MeasurementJob]:
             for job in jobs:
+                if handle._cancel_event.is_set():
+                    # Cooperative cancel: stop dispatching.  Everything
+                    # already yielded keeps executing (and persisting);
+                    # this job and the rest of the stream are dropped.
+                    handle._mark_cancelled()
+                    return
                 if job in seen:
                     continue
                 seen.add(job)
                 value = self.cache.lookup(job)
                 if value is MISSING:
-                    # Reserve the job's slot now so the result dict
-                    # keeps first-occurrence order (exports iterate it).
-                    results[job] = None
                     in_flight.append(job)
+                    handle._job_started(job)
                     yield job
                 else:
-                    results[job] = value
                     self.telemetry[job] = JobTelemetry(
                         job, self.executor_name, True, 0.0, 0
                     )
+                    handle._cache_hit(job, value)
 
         # Store each outcome as the executor yields it: a sweep killed
-        # (or crashed) mid-batch keeps every job it finished, which is
-        # what makes --cache-dir resume skip all completed work.
+        # (or crashed, or cancelled) mid-batch keeps every job it
+        # finished, which is what makes --cache-dir resume skip all
+        # completed work.
         for outcome in self._execute(misses()):
             if not in_flight:
                 raise EvaluationError(
@@ -378,24 +504,95 @@ class Scheduler(object):
                 job, self.executor_name, False, outcome.wall_seconds, outcome.attempts
             )
             self.simulations_run += 1
-            results[job] = outcome.value
+            handle._job_finished(job, outcome)
         if in_flight:
-            raise EvaluationError(
-                "executor %s returned %d outcome(s) too few"
-                % (self.executor_name, len(in_flight))
-            )
-        return results
+            if handle.cancelled:
+                # The built-in executors finish everything dispatched,
+                # but a cancelled custom backend may drop queued jobs;
+                # their reservations must not masquerade as samples.
+                handle._drop_reservations(in_flight)
+            else:
+                raise EvaluationError(
+                    "executor %s returned %d outcome(s) too few"
+                    % (self.executor_name, len(in_flight))
+                )
+        handle._completed()
 
-    def run(self, spec):
-        """Run a whole spec and wrap the samples in a ResultSet."""
-        from repro.core.results import ResultSet
+    # -- the streaming API --------------------------------------------
 
+    def start(
+        self,
+        spec,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+        buffer_events: bool = True,
+    ) -> RunHandle:
+        """Begin running ``spec`` and return its :class:`RunHandle`.
+
+        Returns immediately; the sweep executes on a background
+        thread.  ``on_event`` (optional) is called synchronously for
+        every :class:`~repro.core.progress.RunEvent` — note it may
+        fire from executor-internal threads.  ``buffer_events=False``
+        disables the :meth:`RunHandle.events` replay buffer (O(1)
+        event memory; ``on_event`` and ``progress()`` still work) —
+        what the blocking wrappers do for huge grids.
+        """
         expand = getattr(spec, "iter_jobs", spec.jobs)
-        values = self.run_jobs(expand())
-        telemetry = {
-            job: self.telemetry[job] for job in values if job in self.telemetry
-        }
-        return ResultSet(spec, values, telemetry=telemetry)
+        counter = getattr(spec, "job_count", None)
+        total = counter() if counter is not None else None
+        return RunHandle(
+            self, expand(), total=total, spec=spec, on_event=on_event,
+            buffer_events=buffer_events,
+        )
+
+    def start_jobs(
+        self,
+        jobs: Iterable[MeasurementJob],
+        total: Optional[int] = None,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+        buffer_events: bool = True,
+    ) -> RunHandle:
+        """Like :meth:`start` for a bare job iterable (lazy iterables
+        welcome — they are consumed as the run advances).  ``total``
+        feeds progress/ETA; it defaults to ``len(jobs)`` when the
+        iterable is sized and stays unknown otherwise."""
+        if total is None:
+            try:
+                total = len(jobs)  # type: ignore[arg-type]
+            except TypeError:
+                total = None
+        return RunHandle(
+            self, jobs, total=total, on_event=on_event,
+            buffer_events=buffer_events,
+        )
+
+    # -- blocking wrappers (the classic API) --------------------------
+
+    def run_jobs(
+        self, jobs: Iterable[MeasurementJob]
+    ) -> Dict[MeasurementJob, Optional[float]]:
+        """Samples for ``jobs``, simulating only what the cache lacks.
+
+        A thin blocking wrapper over :meth:`start_jobs`.  ``jobs`` may
+        be any iterable — in particular a streaming spec expansion
+        (:meth:`EvaluationSpec.iter_jobs`); it is consumed lazily, so
+        a huge grid never materializes as a full job list.
+
+        A job's ``noise`` amplitude is part of its content address,
+        so noisy and deterministic runs of the same configuration are
+        distinct cache entries — a noisy sweep never serves (or
+        poisons) a deterministic one.
+        """
+        # No events() consumer can exist for a blocking call: skip the
+        # replay buffer so huge grids stay at O(1) event memory.
+        return self.start_jobs(jobs, buffer_events=False).result()
+
+    def run(self, spec, on_event: Optional[Callable[[RunEvent], None]] = None):
+        """Run a whole spec and wrap the samples in a ResultSet.
+
+        A thin blocking wrapper over :meth:`start`; pass ``on_event``
+        to observe the run without managing the handle yourself.
+        """
+        return self.start(spec, on_event=on_event, buffer_events=False).result()
 
     def close(self) -> None:
         """Release executor resources (a persistent worker pool, if any)."""

@@ -242,7 +242,13 @@ class EvaluationSpec:
         return list(self.iter_jobs())
 
     def job_count(self) -> int:
-        return sum(1 for _ in self.iter_jobs())
+        """How many jobs the grid expands to — closed form, no
+        expansion (``Scheduler.start`` takes it on every run for the
+        progress denominator).  Per (platform, seed) cell each tool
+        contributes sendrecv+broadcast+ring per message size, one
+        global sum, and one job per application."""
+        per_tool = 3 * len(self.tpl_sizes) + 1 + len(self.apps)
+        return per_tool * len(self.tools) * len(self.platforms) * len(self.seeds)
 
     def cells(self) -> List[Tuple[str, WeightProfile, int]]:
         """Every (platform, profile, seed) report the spec describes."""

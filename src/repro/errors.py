@@ -16,6 +16,7 @@ __all__ = [
     "UnsupportedOperationError",
     "ApplicationError",
     "EvaluationError",
+    "RunCancelled",
     "CalibrationError",
     "validate_noise",
 ]
@@ -51,6 +52,18 @@ class ApplicationError(ReproError):
 
 class EvaluationError(ReproError):
     """The evaluation methodology was applied inconsistently."""
+
+
+class RunCancelled(EvaluationError):
+    """A streaming run was cancelled before it covered its grid.
+
+    Raised by :meth:`~repro.core.scheduler.RunHandle.result` after a
+    cooperative :meth:`~repro.core.scheduler.RunHandle.cancel`: there
+    is no complete :class:`~repro.core.results.ResultSet` to return.
+    Every job that finished before the cancel *is* persisted in the
+    scheduler's cache, so re-running the same spec over the same cache
+    resumes exactly like a killed sweep.
+    """
 
 
 class CalibrationError(ReproError):

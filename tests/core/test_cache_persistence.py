@@ -84,26 +84,26 @@ class TestKillAndResume:
         """Outcomes persist as they stream out of the executor, so a
         crash partway through ONE batch keeps every finished job —
         the relaunch simulates only from the point of death."""
-        import repro.core.scheduler as scheduler_module
+        import repro.core.executors as executors_module
 
         spec = tiny_spec(tools=("p4",))
         jobs = spec.jobs()
         dies_at = jobs[3]
-        real_execute = scheduler_module.execute_job
+        real_execute = executors_module.execute_job
 
         def dying(job):
             if job == dies_at:
                 raise OSError("killed")
             return real_execute(job)
 
-        monkeypatch.setattr(scheduler_module, "execute_job", dying)
+        monkeypatch.setattr(executors_module, "execute_job", dying)
         cache_dir = str(tmp_path / "cache")
         crashed = Scheduler(cache_dir=cache_dir)
         with pytest.raises(OSError):
             crashed.run(spec)
         assert crashed.simulations_run == 3  # the finished prefix
 
-        monkeypatch.setattr(scheduler_module, "execute_job", real_execute)
+        monkeypatch.setattr(executors_module, "execute_job", real_execute)
         resumed = Scheduler(cache_dir=cache_dir)
         resumed.run(spec)
         assert resumed.simulations_run == spec.job_count() - 3
@@ -219,7 +219,7 @@ class TestTelemetry:
 
 class TestRetries:
     def test_flaky_job_retried_and_attempts_recorded(self, monkeypatch):
-        import repro.core.scheduler as scheduler_module
+        import repro.core.executors as executors_module
 
         calls = {"n": 0}
 
@@ -229,7 +229,7 @@ class TestRetries:
                 raise OSError("transient")
             return 1.0
 
-        monkeypatch.setattr(scheduler_module, "execute_job", flaky)
+        monkeypatch.setattr(executors_module, "execute_job", flaky)
         spec = tiny_spec(tools=("p4",))
         job = spec.jobs()[0]
         scheduler = Scheduler(retries=2)
@@ -238,19 +238,19 @@ class TestRetries:
         assert scheduler.telemetry[job].attempts == 2
 
     def test_exhausted_retries_raise(self, monkeypatch):
-        import repro.core.scheduler as scheduler_module
+        import repro.core.executors as executors_module
 
         def broken(job):
             raise OSError("permanent")
 
-        monkeypatch.setattr(scheduler_module, "execute_job", broken)
+        monkeypatch.setattr(executors_module, "execute_job", broken)
         spec = tiny_spec(tools=("p4",))
         scheduler = Scheduler(retries=2)
         with pytest.raises(OSError):
             scheduler.run_jobs([spec.jobs()[0]])
 
     def test_evaluation_errors_never_retried(self, monkeypatch):
-        import repro.core.scheduler as scheduler_module
+        import repro.core.executors as executors_module
 
         calls = {"n": 0}
 
@@ -258,7 +258,7 @@ class TestRetries:
             calls["n"] += 1
             raise EvaluationError("bad config")
 
-        monkeypatch.setattr(scheduler_module, "execute_job", misconfigured)
+        monkeypatch.setattr(executors_module, "execute_job", misconfigured)
         spec = tiny_spec(tools=("p4",))
         with pytest.raises(EvaluationError):
             Scheduler(retries=5).run_jobs([spec.jobs()[0]])

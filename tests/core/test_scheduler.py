@@ -70,6 +70,38 @@ class TestExecutors:
         with pytest.raises(EvaluationError):
             create_executor(0)
 
+    def test_create_executor_validates_early_with_clear_messages(self):
+        """Bad --jobs style values fail here, before any spec
+        expansion or pool construction, with actionable messages."""
+        with pytest.raises(EvaluationError, match="got -2.*auto"):
+            create_executor(-2)
+        with pytest.raises(EvaluationError, match="positive integer or 'auto'"):
+            create_executor(2.5)
+        with pytest.raises(EvaluationError, match="positive integer or 'auto'"):
+            create_executor(True)
+        with pytest.raises(EvaluationError, match="unknown executor backend"):
+            create_executor(2, backend="quantum")
+
+    def test_create_executor_auto_and_backends(self):
+        import os
+
+        from repro.core.scheduler import AsyncExecutor, resolve_workers
+
+        cpus = os.cpu_count() or 1
+        assert resolve_workers("auto") == cpus
+        assert resolve_workers(None) == cpus
+        auto = create_executor("auto")
+        if cpus == 1:
+            assert isinstance(auto, SerialExecutor)
+        else:
+            assert isinstance(auto, ProcessPoolExecutor)
+            assert auto.max_workers == cpus
+        assert isinstance(create_executor(2, backend="serial"), SerialExecutor)
+        assert isinstance(create_executor(1, backend="process"), ProcessPoolExecutor)
+        asynchronous = create_executor(3, backend="async")
+        assert isinstance(asynchronous, AsyncExecutor)
+        assert asynchronous.max_workers == 3
+
     def test_serial_and_parallel_agree(self):
         """Simulations are deterministic, so the backend is invisible."""
         spec = tiny_spec(tools=("p4", "express"))
@@ -117,12 +149,23 @@ class TestPersistentPool:
             assert scheduler.executor._pool is not None
         assert scheduler.executor._pool is None
 
-    def test_chunksize_bounds(self):
-        executor = ProcessPoolExecutor(max_workers=4)
-        assert executor._chunksize(1) == 1
-        assert executor._chunksize(15) == 1
-        assert executor._chunksize(160) == 10
-        assert executor._chunksize(10**6) == 32  # capped
+    def test_legacy_entry_points_delegate_to_submit(self):
+        """`run` and `run_instrumented` are conveniences over the one
+        protocol method — a subclass only ever implements submit."""
+        from repro.core.scheduler import Executor, JobOutcome
+
+        class Doubler(Executor):
+            name = "doubler"
+
+            def submit(self, jobs, retries=1):
+                for job in jobs:
+                    yield JobOutcome(2.0, 0.0, retries)
+
+        executor = Doubler()
+        jobs = tiny_spec(tools=("p4",)).jobs()[:3]
+        assert executor.run(jobs) == [2.0, 2.0, 2.0]
+        outcomes = list(executor.run_instrumented(jobs, retries=4))
+        assert [outcome.attempts for outcome in outcomes] == [4, 4, 4]
 
     def test_broken_pool_is_dropped_not_reused(self):
         """A pool poisoned by a dead worker must not be served again:

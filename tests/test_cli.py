@@ -94,6 +94,47 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "Best tool" in out
 
+    def test_jobs_zero_fails_early_with_clear_message(self, capsys):
+        assert main(["evaluate", "--jobs", "0"]) == 2
+        out = capsys.readouterr().out
+        assert "jobs must be >= 1" in out
+        assert "auto" in out
+
+    def test_jobs_negative_fails_early(self, capsys):
+        assert main(["evaluate", "--jobs=-3"]) == 2
+        assert "jobs must be >= 1" in capsys.readouterr().out
+
+    def test_jobs_garbage_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "'auto'" in capsys.readouterr().err
+
+    def test_jobs_auto_is_accepted(self, capsys):
+        """'auto' parses (the run proceeds to platform validation)."""
+        assert main(["evaluate", "--jobs", "auto", "--platform", "bogus"]) == 2
+        assert "unknown platform" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--backend", "quantum"])
+
+    @pytest.mark.slow
+    def test_progress_streams_to_stderr_and_keeps_stdout_clean(self, capsys):
+        assert main(["evaluate", "--tools", "p4", "--processors", "2",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "simulated" in captured.err
+        assert "done" in captured.err
+        assert "Best tool" in captured.out
+        assert "simulated" not in captured.out
+
+    @pytest.mark.slow
+    def test_async_backend_end_to_end(self, capsys):
+        assert main(["evaluate", "--tools", "p4", "--processors", "2",
+                     "--backend", "async", "--jobs", "2"]) == 0
+        assert "Best tool" in capsys.readouterr().out
+
     def test_shards_without_cache_dir_is_harmless(self, capsys):
         """--shards only shapes --cache-dir; alone it must not break
         argument validation."""
