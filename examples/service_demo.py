@@ -1,0 +1,173 @@
+"""Evaluation-as-a-service: submit, stream, cancel, restart, resume.
+
+``repro serve`` turns the streaming scheduler into a long-running job
+server: specs go in over HTTP, typed events come back over
+Server-Sent Events, and every run is persisted to SQLite so a
+restarted server still knows its history.  This demo drives the whole
+journey against a real server subprocess:
+
+1. boot ``repro serve`` on an ephemeral port (``--port 0``) with a
+   persistent database and cache directory,
+2. submit a sweep and follow its event stream live — the same
+   ``JobStarted`` / ``JobFinished`` / ``RunCompleted`` objects a local
+   ``RunHandle`` yields,
+3. submit a bigger sweep and cancel it mid-flight: the run ends
+   ``cancelled`` with its partial results persisted,
+4. stop the server with SIGTERM (graceful: in-flight work lands),
+5. restart over the same database: the history is all there, and
+   resubmitting the cancelled spec simulates only the jobs the first
+   attempt never finished — the rest are cache hits.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_demo.py
+"""
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core.progress import CacheHit, JobFinished, RunCompleted
+from repro.service.client import ServiceClient
+
+#: A seconds-scale sweep for the happy path.
+QUICK_SPEC = {
+    "tools": ["p4", "express"],
+    "tpl_sizes": [1024],
+    "global_sum_ints": 5_000,
+    "apps": ["montecarlo"],
+    "app_params": {"montecarlo": {"samples": 20_000}},
+}
+
+#: A heavier grid so a mid-flight cancel lands before it finishes.
+SLOW_SPEC = {
+    "tools": ["p4", "express", "pvm", "mpi"],
+    "tpl_sizes": [1024, 16384],
+    "global_sum_ints": 20_000,
+    "apps": ["montecarlo"],
+    "app_params": {"montecarlo": {"samples": 300_000}},
+}
+
+#: Cancel the slow sweep after this many finished jobs.
+CANCEL_AFTER = 3
+
+
+def start_server(db_path: str, cache_dir: str) -> "tuple[subprocess.Popen, int]":
+    """Boot ``repro serve --port 0`` and parse the bound port."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--db", db_path, "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=dict(os.environ),
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before binding a port")
+        print("  server| %s" % line.rstrip())
+        match = re.search(r"serving on http://([\d.]+):(\d+)", line)
+        if match:
+            return process, int(match.group(2))
+    raise RuntimeError("server never reported its port")
+
+
+def stop_server(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    output, _ = process.communicate(timeout=30)
+    for line in output.splitlines():
+        print("  server| %s" % line)
+    print("  server exited with code %d" % process.returncode)
+
+
+def narrate(event) -> str:
+    if isinstance(event, JobFinished):
+        return "simulated  %s" % event.job.short_label()
+    if isinstance(event, CacheHit):
+        return "cache hit  %s" % event.job.short_label()
+    if isinstance(event, RunCompleted):
+        return ("done: %d jobs (%d simulated, %d cached%s)"
+                % (event.total, event.simulated, event.cache_hits,
+                   ", cancelled" if event.cancelled else ""))
+    return ""
+
+
+def main() -> None:
+    workspace = tempfile.mkdtemp(prefix="repro-service-")
+    db_path = os.path.join(workspace, "runs.db")
+    cache_dir = os.path.join(workspace, "cache")
+    try:
+        # -- 1: boot ---------------------------------------------------
+        print("booting repro serve (db=%s):" % db_path)
+        server, port = start_server(db_path, cache_dir)
+        client = ServiceClient(port=port, user="demo")
+        print("  health: %s" % client.health())
+
+        # -- 2: submit and stream --------------------------------------
+        print()
+        print("submitting the quick sweep and streaming its events:")
+        quick = client.submit(QUICK_SPEC)
+        for event in client.events(quick):
+            line = narrate(event)
+            if line:
+                print("  [%s] %s" % (quick, line))
+        record = client.run(quick)
+        print("  state=%s scores=%s" % (record["state"],
+                                        record["result"]["scores"]))
+
+        # -- 3: cancel a bigger sweep mid-flight -----------------------
+        print()
+        print("submitting the slow sweep, cancelling after %d jobs:"
+              % CANCEL_AFTER)
+        slow = client.submit(SLOW_SPEC)
+        finished = 0
+        for event in client.events(slow):
+            line = narrate(event)
+            if line:
+                print("  [%s] %s" % (slow, line))
+            if isinstance(event, JobFinished):
+                finished += 1
+                if finished == CANCEL_AFTER:
+                    print("  -> POST /api/runs/%s/cancel" % slow)
+                    client.cancel(slow)
+        cancelled = client.run(slow)
+        print("  state=%s, %d partial sample(s) persisted"
+              % (cancelled["state"],
+                 len((cancelled["result"] or {}).get("samples", ()))))
+
+        # -- 4: graceful shutdown --------------------------------------
+        print()
+        print("stopping the server with SIGTERM:")
+        stop_server(server)
+
+        # -- 5: restart over the same database and cache ---------------
+        print()
+        print("restarting over the same --db/--cache-dir:")
+        server, port = start_server(db_path, cache_dir)
+        client = ServiceClient(port=port, user="demo")
+        print("  history after restart:")
+        for run in client.runs():
+            print("    %s  %-9s  simulated=%s cache_hits=%s"
+                  % (run["run_id"], run["state"],
+                     run["simulated"], run["cache_hits"]))
+        print("  resubmitting the cancelled spec:")
+        resumed = client.submit(SLOW_SPEC)
+        final = client.wait(resumed)
+        print("  state=%s: %d simulated, %d from cache"
+              % (final["state"], final["simulated"], final["cache_hits"]))
+        assert final["state"] == "completed"
+        assert final["cache_hits"] >= CANCEL_AFTER
+        print()
+        print("stopping the server:")
+        stop_server(server)
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ Usage::
         --profile balanced end-user --jobs 4 --json sweep.json
     python -m repro experiment table3 fig4
     python -m repro usability
+    python -m repro serve --port 8765 --db runs.db --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -150,6 +151,59 @@ streaming execution:
     experiment.add_argument("ids", nargs="*", help="experiment ids (default: all)")
 
     sub.add_parser("usability", help="print the ADL usability matrix")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the evaluation service (HTTP + SSE job server)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+evaluation as a service:
+  Exposes the streaming scheduler over HTTP: POST /api/runs submits an
+  EvaluationSpec JSON ({"spec": {...}}) and returns {run_id}; GET
+  /api/runs and /api/runs/ID inspect history and live progress; POST
+  /api/runs/ID/cancel cancels cooperatively; GET /api/runs/ID/events
+  is a Server-Sent Events stream that replays the run's events and
+  then follows live.  Each request's X-User header is the identity
+  the per-user concurrency limit (--user-limit) applies to; runs
+  beyond the limit queue FIFO.
+
+  --db persists every run (spec, state, counters, results) in SQLite,
+  so a restarted server lists history; with --cache-dir the
+  measurements themselves persist too, and resubmitting an
+  interrupted spec simulates only the jobs that never finished.
+  SIGTERM/SIGINT shut down gracefully: running evaluations cancel
+  cooperatively (in-flight jobs finish and persist), queued runs are
+  marked cancelled, then the server exits 0.
+
+  example:
+    repro serve --port 8765 --db runs.db --cache-dir .repro-cache \\
+        --jobs 2 --user-limit 2
+""",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 picks an ephemeral one "
+                            "(default 8765)")
+    serve.add_argument("--db", metavar="PATH", default="repro-service.db",
+                       help="SQLite run-history database "
+                            "(default repro-service.db)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent measurement cache shared by "
+                            "every run the server executes")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="split --cache-dir into N sub-stores "
+                            "(default 1)")
+    serve.add_argument("--jobs", type=_jobs_argument, default=1,
+                       metavar="N|auto",
+                       help="workers per evaluation run (default 1)")
+    serve.add_argument("--backend", choices=("serial", "process", "async"),
+                       default=None,
+                       help="executor backend per run (default: serial "
+                            "for --jobs 1, process otherwise)")
+    serve.add_argument("--user-limit", type=int, default=2,
+                       help="concurrent runs per X-User identity; "
+                            "further submissions queue FIFO (default 2)")
     return parser
 
 
@@ -317,6 +371,89 @@ def _cmd_usability() -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.cache import ResultCache
+    from repro.core.scheduler import Scheduler, create_executor
+    from repro.errors import ReproError
+    from repro.service import JobRegistry, RunStore, ServiceServer
+
+    try:
+        if args.user_limit < 1:
+            print("error: --user-limit must be >= 1")
+            return 2
+        store = RunStore(args.db)
+        orphans = store.recover()
+        if orphans:
+            print("reconciled %d orphaned run(s) from a previous server"
+                  % orphans)
+        # One thread-safe cache shared by every run this server
+        # executes: overlapping specs share measurements, and with
+        # --cache-dir they survive the server itself.
+        if args.cache_dir is not None:
+            cache = ResultCache.on_disk(args.cache_dir, shards=args.shards)
+        else:
+            cache = ResultCache()
+
+        def scheduler_factory() -> Scheduler:
+            return Scheduler(
+                executor=create_executor(args.jobs, backend=args.backend),
+                cache=cache,
+            )
+
+        registry = JobRegistry(
+            store, scheduler_factory=scheduler_factory,
+            per_user_limit=args.user_limit,
+        )
+        server = ServiceServer(registry, host=args.host, port=args.port)
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    except OSError as error:
+        print("error: cannot open %s (%s)" % (args.db, error))
+        return 2
+
+    async def _serve() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                signal.signal(signum, lambda *_: stop.set())
+        try:
+            await server.start()
+        except OSError as error:
+            raise ReproError(
+                "cannot bind %s:%d (%s)" % (args.host, args.port, error)
+            )
+        # Machine-readable: tests and examples/service_demo.py parse
+        # this line to find an ephemeral --port 0.
+        print("serving on http://%s:%d" % (args.host, server.port), flush=True)
+        print("db=%s cache=%s user-limit=%d (SIGTERM/ctrl-C stops "
+              "gracefully)" % (args.db, args.cache_dir or "<memory>",
+                               args.user_limit), flush=True)
+        await stop.wait()
+        print("shutting down: cancelling running evaluations "
+              "cooperatively...", flush=True)
+        await server.close()
+        # Registry shutdown joins watcher threads (in-flight jobs
+        # finish and persist) — keep it off the event loop thread.
+        await asyncio.to_thread(registry.shutdown)
+
+    try:
+        asyncio.run(_serve())
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    finally:
+        store.close()
+    print("service stopped; run history is in %s" % args.db)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -328,5 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args.ids)
     if args.command == "usability":
         return _cmd_usability()
+    if args.command == "serve":
+        return _cmd_serve(args)
     parser.print_help()
     return 0

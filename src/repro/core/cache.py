@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -111,24 +112,34 @@ class CacheBackend(object):
 
 
 class MemoryBackend(CacheBackend):
-    """The classic in-process dict store (dies with the process)."""
+    """The classic in-process dict store (dies with the process).
+
+    Thread-safe: the evaluation service runs several concurrent
+    scheduler runs against one shared cache, so every dict operation
+    takes a lock rather than leaning on accidental GIL atomicity.
+    """
 
     name = "memory"
 
     def __init__(self) -> None:
         self._store: Dict[str, Optional[float]] = {}
+        self._lock = threading.Lock()
 
     def get(self, key: str):
-        return self._store.get(key, MISSING)
+        with self._lock:
+            return self._store.get(key, MISSING)
 
     def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
-        self._store[key] = value
+        with self._lock:
+            self._store[key] = value
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 class DiskBackend(CacheBackend):
@@ -364,12 +375,22 @@ class ResultCache(object):
     :class:`MemoryBackend` preserves the original in-process behavior,
     while :meth:`on_disk` gives a persistent (optionally sharded)
     cache that a killed sweep resumes from.
+
+    Thread-safe: one cache may back several concurrent scheduler runs
+    (the evaluation service does exactly this), so the hit/miss
+    counters, the key memo and each lookup/store are guarded by an
+    internal lock — ``hits + misses`` always equals the number of
+    ``lookup`` calls, with no lost increments under races.
     """
 
     def __init__(self, backend: Optional[CacheBackend] = None) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
         self.hits = 0
         self.misses = 0
+        # Guards the counters, the key memo and the compound
+        # lookup-then-count / store operations below.  Reentrant so a
+        # backend callback could safely re-enter the cache.
+        self._lock = threading.RLock()
         # job -> content key memo: hashing a job canonicalizes it to
         # JSON, which is worth doing once, not once per lookup.
         self._keys: Dict[MeasurementJob, str] = {}
@@ -384,10 +405,11 @@ class ResultCache(object):
         return cls(ShardedBackend.on_disk(cache_dir, shards))
 
     def key(self, job: MeasurementJob) -> str:
-        key = self._keys.get(job)
-        if key is None:
-            key = self._keys[job] = job_key(job)
-        return key
+        with self._lock:
+            key = self._keys.get(job)
+            if key is None:
+                key = self._keys[job] = job_key(job)
+            return key
 
     def __len__(self) -> int:
         return len(self.backend)
@@ -398,15 +420,17 @@ class ResultCache(object):
     def lookup(self, job: MeasurementJob):
         """The cached sample, or the :data:`MISSING` sentinel
         (``None`` is a legitimate sample: "Not Available")."""
-        value = self.backend.get(self.key(job))
-        if value is MISSING:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = self.backend.get(self.key(job))
+            if value is MISSING:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
     def store(self, job: MeasurementJob, value: Optional[float]) -> None:
-        self.backend.put(self.key(job), value, job)
+        with self._lock:
+            self.backend.put(self.key(job), value, job)
 
     def peek(self, job: MeasurementJob) -> Optional[float]:
         """The cached sample, without touching the hit/miss counters."""
@@ -416,7 +440,8 @@ class ResultCache(object):
         return value
 
     def clear(self) -> None:
-        self.backend.clear()
-        self._keys.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.backend.clear()
+            self._keys.clear()
+            self.hits = 0
+            self.misses = 0

@@ -11,6 +11,13 @@ the event type; the classes carry data only, no behavior.
 :class:`Progress` is the complementary *pull* view: an immutable
 snapshot of done/total counters with derived hit-rate and ETA, cheap
 enough to take on every event.
+
+Events also cross process boundaries: the evaluation service streams
+them over Server-Sent Events, so every event serializes to a JSON-safe
+dict (:func:`event_to_dict`) tagged with a stable ``type`` string, and
+:func:`event_from_dict` rebuilds the typed record on the consumer side
+— a remote client pattern-matches on the exact same classes as a local
+:meth:`~repro.core.scheduler.RunHandle.events` consumer.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.jobs import MeasurementJob
+from repro.errors import EvaluationError
 
 __all__ = [
     "RunEvent",
@@ -27,12 +35,25 @@ __all__ = [
     "JobFinished",
     "RunCompleted",
     "Progress",
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
 ]
 
 
 @dataclass(frozen=True)
 class RunEvent:
     """Base class: something observable happened during a run."""
+
+    #: Stable wire tag; subclasses override.  Part of the service's
+    #: SSE protocol, so renaming one is a breaking API change.
+    type = "event"
+
+    def to_dict(self) -> dict:
+        """A JSON-safe description of this event, tagged with
+        :attr:`type` (jobs serialize through
+        :meth:`~repro.core.jobs.MeasurementJob.to_dict`)."""
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -46,6 +67,11 @@ class JobStarted(RunEvent):
     job: MeasurementJob
     index: int
 
+    type = "job_started"
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "job": self.job.to_dict(), "index": self.index}
+
 
 @dataclass(frozen=True)
 class CacheHit(RunEvent):
@@ -53,6 +79,11 @@ class CacheHit(RunEvent):
 
     job: MeasurementJob
     value: Optional[float]
+
+    type = "cache_hit"
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "job": self.job.to_dict(), "value": self.value}
 
 
 @dataclass(frozen=True)
@@ -64,6 +95,17 @@ class JobFinished(RunEvent):
     wall_seconds: Optional[float]
     attempts: int
 
+    type = "job_finished"
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type,
+            "job": self.job.to_dict(),
+            "value": self.value,
+            "wall_seconds": self.wall_seconds,
+            "attempts": self.attempts,
+        }
+
 
 @dataclass(frozen=True)
 class RunCompleted(RunEvent):
@@ -74,6 +116,60 @@ class RunCompleted(RunEvent):
     cache_hits: int
     cancelled: bool
     wall_seconds: float
+
+    type = "run_completed"
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type,
+            "total": self.total,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "cancelled": self.cancelled,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+#: Wire tag -> event class, the registry both serialization directions
+#: share (and the authoritative list of what the service streams).
+EVENT_TYPES = {
+    cls.type: cls for cls in (JobStarted, CacheHit, JobFinished, RunCompleted)
+}
+
+
+def event_to_dict(event: RunEvent) -> dict:
+    """``event.to_dict()`` with a type check — the service boundary
+    rejects foreign objects loudly instead of streaming garbage."""
+    if not isinstance(event, RunEvent):
+        raise EvaluationError("not a RunEvent: %r" % (event,))
+    return event.to_dict()
+
+
+def event_from_dict(data: dict) -> RunEvent:
+    """Rebuild the typed event a :func:`event_to_dict` dict describes.
+
+    The inverse a remote consumer (the service client) applies to each
+    SSE payload, so it can pattern-match on :class:`JobStarted` /
+    :class:`JobFinished` / :class:`CacheHit` / :class:`RunCompleted`
+    exactly like a local one.
+    """
+    try:
+        kind = data["type"]
+    except (TypeError, KeyError):
+        raise EvaluationError("event dict has no 'type' tag: %r" % (data,))
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise EvaluationError(
+            "unknown event type %r; known: %s"
+            % (kind, ", ".join(sorted(EVENT_TYPES)))
+        )
+    fields = {key: value for key, value in data.items() if key != "type"}
+    if "job" in fields:
+        fields["job"] = MeasurementJob.from_dict(fields["job"])
+    try:
+        return cls(**fields)
+    except TypeError as error:
+        raise EvaluationError("malformed %s event: %s" % (kind, error))
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ __all__ = [
     "EvaluationError",
     "RunCancelled",
     "CalibrationError",
+    "ServiceError",
     "validate_noise",
 ]
 
@@ -68,6 +69,17 @@ class RunCancelled(EvaluationError):
 
 class CalibrationError(ReproError):
     """Calibration data is missing or malformed."""
+
+
+class ServiceError(ReproError):
+    """The evaluation service refused a request or hit a fault.
+
+    Raised by the job registry and run store for unknown runs, illegal
+    state-machine transitions and malformed submissions, and by the
+    service client when the server answers with an error status — the
+    server's message rides along, so remote misuse reads like local
+    misuse.
+    """
 
 
 def validate_noise(value, error_cls, what: str = "noise",

@@ -1,0 +1,37 @@
+"""Evaluation-as-a-service: a job server over the streaming core.
+
+The :mod:`repro.service` package turns the PR-5 streaming substrate
+(:class:`~repro.core.scheduler.RunHandle` event streams over the
+:class:`~repro.core.executors.Executor` protocol) into a long-running,
+multi-user HTTP service:
+
+* :mod:`repro.service.store` — SQLite (WAL) run history with an
+  enforced ``queued -> running -> completed/cancelled/failed`` state
+  machine; a restarted server lists every historical run.
+* :mod:`repro.service.registry` — per-user concurrency limits, FIFO
+  queueing, cooperative cancel and graceful shutdown, with every
+  lifecycle edge persisted.
+* :mod:`repro.service.server` — the stdlib asyncio HTTP front:
+  ``POST /api/runs`` -> ``{run_id}``, run listing/inspection, cancel,
+  and a Server-Sent Events stream per run (replay + live).
+* :mod:`repro.service.client` — a stdlib client speaking the same
+  typed events as local code.
+
+Run it via ``repro serve --host H --port P --db PATH --cache-dir DIR``
+(see :mod:`repro.cli`); ``examples/service_demo.py`` walks the whole
+submit -> stream -> cancel -> shutdown journey.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.registry import DEFAULT_USER, JobRegistry
+from repro.service.server import ServiceServer
+from repro.service.store import RunStore, spec_hash
+
+__all__ = [
+    "DEFAULT_USER",
+    "JobRegistry",
+    "RunStore",
+    "ServiceClient",
+    "ServiceServer",
+    "spec_hash",
+]

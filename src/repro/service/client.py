@@ -1,0 +1,181 @@
+"""A thin stdlib client for the evaluation service.
+
+:class:`ServiceClient` wraps the REST + SSE API of
+:mod:`repro.service.server` in the vocabulary of the local streaming
+API: :meth:`submit` takes an :class:`~repro.core.spec.EvaluationSpec`
+(or its dict form) and returns the ``run_id``, :meth:`events` yields
+the *same typed event records* a local
+:meth:`~repro.core.scheduler.RunHandle.events` consumer sees (rebuilt
+from the SSE frames via
+:func:`~repro.core.progress.event_from_dict`), and :meth:`wait`
+blocks until the terminal event and returns the stored record with
+its results.
+
+Pure ``http.client`` — one connection per request, matching the
+server's ``Connection: close`` policy.  Errors come back as
+:class:`~repro.errors.ServiceError` carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, List, Optional
+
+from repro.core.progress import RunCompleted, RunEvent, event_from_dict
+from repro.core.spec import EvaluationSpec
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient(object):
+    """Talk to one ``repro serve`` instance.
+
+    Parameters
+    ----------
+    host, port:
+        Where the server listens.
+    user:
+        Sent as the ``X-User`` header on every request — the identity
+        the server's per-user concurrency limit accounts to.  ``None``
+        lets the server default (``anonymous``).
+    timeout:
+        Socket timeout (seconds) for plain REST calls.  Event streams
+        use no timeout: a healthy stream is silent for exactly as long
+        as its longest simulation.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        user: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.user = user
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _headers(self) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.user is not None:
+            headers["X-User"] = self.user
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = -1.0,
+    ) -> http.client.HTTPResponse:
+        if timeout == -1.0:
+            timeout = self.timeout
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        headers = self._headers()
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+        except OSError as error:
+            connection.close()
+            raise ServiceError(
+                "cannot reach service at %s:%d (%s)" % (self.host, self.port, error)
+            )
+        if response.status >= 400:
+            raw = response.read()
+            connection.close()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace") or response.reason
+            raise ServiceError(
+                "%s %s -> %d: %s" % (method, path, response.status, message)
+            )
+        # Caller owns the response (and its connection): read then close.
+        response._service_connection = connection  # type: ignore[attr-defined]
+        return response
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        response = self._request(method, path, payload)
+        try:
+            return json.loads(response.read().decode("utf-8"))
+        finally:
+            response._service_connection.close()  # type: ignore[attr-defined]
+
+    # -- the API -------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/api/health")
+
+    def submit(self, spec) -> str:
+        """Submit a spec (``EvaluationSpec`` or dict); the ``run_id``."""
+        if isinstance(spec, EvaluationSpec):
+            spec = spec.to_dict()
+        return self._json("POST", "/api/runs", {"spec": dict(spec)})["run_id"]
+
+    def runs(self, user: Optional[str] = None) -> List[dict]:
+        path = "/api/runs"
+        if user is not None:
+            path += "?user=%s" % user
+        return self._json("GET", path)["runs"]
+
+    def run(self, run_id: str) -> dict:
+        """The stored record: state, counters, progress, results."""
+        return self._json("GET", "/api/runs/%s" % run_id)
+
+    def cancel(self, run_id: str) -> dict:
+        return self._json("POST", "/api/runs/%s/cancel" % run_id)
+
+    def events(self, run_id: str) -> Iterator[RunEvent]:
+        """Stream a run's typed events: full replay, then live.
+
+        Yields :class:`~repro.core.progress.JobStarted` /
+        :class:`~repro.core.progress.CacheHit` /
+        :class:`~repro.core.progress.JobFinished` and finally one
+        :class:`~repro.core.progress.RunCompleted`, after which the
+        stream ends — pattern-match exactly like local code.
+        """
+        response = self._request(
+            "GET", "/api/runs/%s/events" % run_id, timeout=None
+        )
+        connection = response._service_connection  # type: ignore[attr-defined]
+        try:
+            data_lines: List[str] = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    return  # stream closed
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and data_lines:
+                    payload = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event_from_dict(payload)
+                # "event:" and comment lines carry no extra information
+                # beyond the payload's own type tag; skip them.
+        finally:
+            connection.close()
+
+    def wait(self, run_id: str) -> dict:
+        """Block until the run is over; the final stored record.
+
+        Consumes the event stream (cheap — the server pushes) until
+        the terminal event, then fetches the record so the caller gets
+        counters and results in one dict.
+        """
+        for event in self.events(run_id):
+            if isinstance(event, RunCompleted):
+                break
+        return self.run(run_id)

@@ -1,0 +1,259 @@
+"""Persistent run records for the evaluation service (SQLite, WAL).
+
+The :class:`RunStore` is the service's memory: every submitted run is
+a row holding the spec (verbatim JSON plus a content hash), the state
+machine position, timestamps, the final counters and — for finished
+runs — the exported results.  A restarted server opens the same
+database and lists every historical run; combined with the scheduler's
+shared ``--cache-dir`` that is the whole restart/resume story (the
+store remembers *what was asked*, the cache remembers *what was
+measured*).
+
+States move strictly along the machine ::
+
+    queued ──> running ──> completed
+       │          ├──────> cancelled
+       │          └──────> failed
+       └───────> cancelled
+
+:meth:`RunStore.transition` enforces it — an illegal move raises
+:class:`~repro.errors.ServiceError` instead of silently corrupting
+history.  ``queued -> failed`` is also allowed so a crashed server's
+orphans can be reconciled on reopen (:meth:`recover`).
+
+SQLite runs in WAL mode (readers never block the writer — the SSE
+handlers list runs while the registry finalizes one) with a single
+connection serialized behind a lock, which is all the concurrency a
+per-process job server needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "RUN_STATES",
+    "TERMINAL_STATES",
+    "VALID_TRANSITIONS",
+    "spec_hash",
+    "RunStore",
+]
+
+#: Every state a run can be in, in lifecycle order.
+RUN_STATES = ("queued", "running", "completed", "cancelled", "failed")
+
+#: States with no successor: the run is over.
+TERMINAL_STATES = frozenset(("completed", "cancelled", "failed"))
+
+#: The state machine: current state -> the states it may move to.
+VALID_TRANSITIONS = {
+    "queued": frozenset(("running", "cancelled", "failed")),
+    "running": frozenset(("completed", "cancelled", "failed")),
+    "completed": frozenset(),
+    "cancelled": frozenset(),
+    "failed": frozenset(),
+}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    user         TEXT NOT NULL,
+    spec_json    TEXT NOT NULL,
+    spec_hash    TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    error        TEXT,
+    created_at   REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    simulated    INTEGER,
+    cache_hits   INTEGER,
+    wall_seconds REAL,
+    result_json  TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_by_user ON runs (user, created_at);
+"""
+
+
+def spec_hash(spec_dict: dict) -> str:
+    """Content address of a spec: SHA-256 over its canonical JSON.
+
+    Two submissions of the same grid share the hash (the service's
+    "is this a resubmission?" signal), mirroring how
+    :func:`~repro.core.cache.job_key` addresses individual jobs.
+    """
+    payload = json.dumps(spec_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class RunStore(object):
+    """SQLite-backed run history with an enforced state machine.
+
+    One store serves one server process; every method is thread-safe
+    (the registry's watcher threads and the HTTP handlers all write).
+    ``path`` may be ``":memory:"`` for tests — WAL silently degrades
+    to the default journal there, which SQLite reports rather than
+    errors on.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        # One connection, serialized by our lock: check_same_thread
+        # off is safe because no two threads ever use it concurrently.
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db.row_factory = sqlite3.Row
+        with self._lock:
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+            self._db.commit()
+
+    # -- row plumbing --------------------------------------------------
+
+    @staticmethod
+    def _row_to_dict(row: sqlite3.Row) -> Dict:
+        record = dict(row)
+        record["spec"] = json.loads(record.pop("spec_json"))
+        result_json = record.pop("result_json")
+        record["result"] = json.loads(result_json) if result_json else None
+        return record
+
+    def _get_locked(self, run_id: str) -> sqlite3.Row:
+        row = self._db.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError("unknown run %r" % run_id)
+        return row
+
+    # -- the API -------------------------------------------------------
+
+    def create(self, run_id: str, user: str, spec_dict: dict) -> Dict:
+        """Insert a fresh ``queued`` run and return its record."""
+        with self._lock:
+            try:
+                self._db.execute(
+                    "INSERT INTO runs (run_id, user, spec_json, spec_hash,"
+                    " state, created_at) VALUES (?, ?, ?, ?, 'queued', ?)",
+                    (
+                        run_id,
+                        user,
+                        json.dumps(spec_dict, sort_keys=True),
+                        spec_hash(spec_dict),
+                        time.time(),
+                    ),
+                )
+            except sqlite3.IntegrityError:
+                raise ServiceError("run %r already exists" % run_id)
+            self._db.commit()
+            return self._row_to_dict(self._get_locked(run_id))
+
+    def get(self, run_id: str) -> Dict:
+        """The full record of one run (:class:`ServiceError` if absent)."""
+        with self._lock:
+            return self._row_to_dict(self._get_locked(run_id))
+
+    def list_runs(self, user: Optional[str] = None) -> List[Dict]:
+        """Every run (optionally one user's), newest first, without
+        the potentially large result payloads."""
+        query = ("SELECT run_id, user, spec_hash, state, error, created_at,"
+                 " started_at, finished_at, simulated, cache_hits,"
+                 " wall_seconds FROM runs")
+        args = ()
+        if user is not None:
+            query += " WHERE user = ?"
+            args = (user,)
+        query += " ORDER BY created_at DESC, run_id DESC"
+        with self._lock:
+            return [dict(row) for row in self._db.execute(query, args)]
+
+    def transition(
+        self,
+        run_id: str,
+        state: str,
+        error: Optional[str] = None,
+        simulated: Optional[int] = None,
+        cache_hits: Optional[int] = None,
+        wall_seconds: Optional[float] = None,
+        result: Optional[dict] = None,
+    ) -> Dict:
+        """Move a run along the state machine, recording outcome data.
+
+        ``running`` stamps ``started_at``; every terminal state stamps
+        ``finished_at`` and may carry the final counters, an error
+        message and the result export.  Illegal moves raise
+        :class:`~repro.errors.ServiceError` and change nothing.
+        """
+        if state not in RUN_STATES:
+            raise ServiceError(
+                "unknown run state %r; known: %s" % (state, ", ".join(RUN_STATES))
+            )
+        with self._lock:
+            row = self._get_locked(run_id)
+            current = row["state"]
+            if state not in VALID_TRANSITIONS[current]:
+                raise ServiceError(
+                    "invalid transition %s -> %s for run %s"
+                    % (current, state, run_id)
+                )
+            now = time.time()
+            fields = {"state": state}
+            if state == "running":
+                fields["started_at"] = now
+            if state in TERMINAL_STATES:
+                fields["finished_at"] = now
+                fields["error"] = error
+                fields["simulated"] = simulated
+                fields["cache_hits"] = cache_hits
+                fields["wall_seconds"] = wall_seconds
+                if result is not None:
+                    fields["result_json"] = json.dumps(result, sort_keys=True)
+            assignments = ", ".join("%s = ?" % name for name in fields)
+            self._db.execute(
+                "UPDATE runs SET %s WHERE run_id = ?" % assignments,
+                tuple(fields.values()) + (run_id,),
+            )
+            self._db.commit()
+            return self._row_to_dict(self._get_locked(run_id))
+
+    def recover(self) -> int:
+        """Reconcile orphans after an unclean shutdown; how many moved.
+
+        Rows still ``running`` belonged to a process that died with
+        work in flight — they become ``failed`` (the *measurements*
+        that finished are safe in the scheduler's cache; resubmitting
+        the spec simulates only what never finished).  Rows still
+        ``queued`` never started and become ``cancelled``.  A server
+        calls this once on startup, before accepting traffic.
+        """
+        with self._lock:
+            now = time.time()
+            running = self._db.execute(
+                "UPDATE runs SET state = 'failed', finished_at = ?,"
+                " error = 'orphaned by unclean server shutdown'"
+                " WHERE state = 'running'", (now,)
+            ).rowcount
+            queued = self._db.execute(
+                "UPDATE runs SET state = 'cancelled', finished_at = ?,"
+                " error = 'queued at unclean server shutdown'"
+                " WHERE state = 'queued'", (now,)
+            ).rowcount
+            self._db.commit()
+            return running + queued
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -243,3 +243,89 @@ class TestResultCache:
         cache.clear()
         assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
         assert cache.lookup(JOB) is MISSING
+
+
+class TestConcurrentAccess:
+    """One shared cache, many concurrent scheduler runs — the shape
+    the evaluation service creates.  The counters and the dict access
+    are guarded by a lock; these tests pin that ``hits + misses``
+    never loses an increment under contention."""
+
+    def _hammer(self, worker, threads):
+        import sys
+        import threading
+
+        errors = []
+
+        def wrapped(index):
+            try:
+                worker(index)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        # Shrink the bytecode switch interval so an unguarded
+        # read-modify-write on the counters would actually interleave.
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            pool = [threading.Thread(target=wrapped, args=(index,))
+                    for index in range(threads)]
+            for thread in pool:
+                thread.start()
+            for thread in pool:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert errors == []
+
+    def test_shared_counters_survive_concurrent_hits(self):
+        threads, rounds = 8, 400
+        cache = ResultCache()
+        jobs = [sendrecv_job("p4", "sun-ethernet", 1024, seed=s) for s in range(4)]
+        for job in jobs:
+            cache.store(job, 1.0)
+
+        def worker(index):
+            for _ in range(rounds):
+                for job in jobs:
+                    assert cache.lookup(job) == 1.0
+
+        self._hammer(worker, threads)
+        assert cache.hits == threads * rounds * len(jobs)
+        assert cache.misses == 0
+
+    def test_disjoint_miss_store_hit_cycles_account_exactly(self):
+        """Each thread owns a disjoint job slice (distinct seeds, like
+        concurrent service runs over different specs): every lookup is
+        counted exactly once, and every store lands."""
+        threads, per_thread = 8, 50
+        cache = ResultCache()
+
+        def worker(index):
+            jobs = [sendrecv_job("p4", "sun-ethernet", 1024,
+                                 seed=index * per_thread + offset)
+                    for offset in range(per_thread)]
+            for job in jobs:
+                assert cache.lookup(job) is MISSING
+                cache.store(job, float(index))
+            for job in jobs:
+                assert cache.lookup(job) == float(index)
+
+        self._hammer(worker, threads)
+        assert cache.misses == threads * per_thread
+        assert cache.hits == threads * per_thread
+        assert len(cache) == threads * per_thread
+
+    def test_memory_backend_concurrent_put_get(self):
+        threads, per_thread = 8, 200
+        backend = MemoryBackend()
+
+        def worker(index):
+            keys = ["%02d-%04d" % (index, offset) for offset in range(per_thread)]
+            for offset, key in enumerate(keys):
+                backend.put(key, float(offset))
+            for offset, key in enumerate(keys):
+                assert backend.get(key) == float(offset)
+
+        self._hammer(worker, threads)
+        assert len(backend) == threads * per_thread

@@ -105,6 +105,46 @@ class TestEventStream:
         assert first == second
         handle.result()
 
+    def test_two_concurrent_consumers_slow_and_fast(self):
+        """Two live consumers — one dawdling, one draining as fast as
+        it can — each see the identical, complete stream.  The
+        service's SSE layer runs one such consumer per connected
+        client, so multi-consumer replay under concurrency is part of
+        its contract, not an accident."""
+        import time
+
+        spec = tiny_spec(tools=("p4", "express"))
+        executor = GateExecutor()
+        scheduler = Scheduler(executor=executor)
+        handle = scheduler.start(spec)
+        streams = {}
+
+        def consume(name, delay):
+            seen = []
+            for event in handle.events():
+                seen.append(event)
+                if delay:
+                    time.sleep(delay)
+            streams[name] = seen
+
+        slow = threading.Thread(target=consume, args=("slow", 0.005))
+        fast = threading.Thread(target=consume, args=("fast", 0.0))
+        slow.start()
+        fast.start()
+        executor.release.set()  # events start flowing mid-subscription
+        slow.join(30)
+        fast.join(30)
+        assert not slow.is_alive() and not fast.is_alive()
+
+        assert streams["slow"] == streams["fast"]
+        events = streams["fast"]
+        assert isinstance(events[-1], RunCompleted)
+        finished = [event for event in events if isinstance(event, JobFinished)]
+        assert [event.job for event in finished] == spec.jobs()
+        # A third, post-hoc subscriber still replays the whole run.
+        assert list(handle.events()) == events
+        handle.result()
+
     def test_unbuffered_runs_keep_no_event_log(self):
         """Blocking run()/run_jobs skip the replay buffer (no consumer
         can exist), so huge grids stay at O(1) event memory; the

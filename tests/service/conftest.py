@@ -1,0 +1,28 @@
+"""Fixtures for the service tests (helpers live in service_helpers)."""
+
+import pytest
+
+from service_helpers import ServiceHarness
+
+
+@pytest.fixture
+def harness_factory(tmp_path):
+    """Build harnesses against per-test databases; stop them on exit."""
+    harnesses = []
+    counter = [0]
+
+    def build(scheduler_factory=None, per_user_limit=2, db_name=None):
+        if db_name is None:
+            counter[0] += 1
+            db_name = "service-%d.db" % counter[0]
+        harness = ServiceHarness(
+            tmp_path / db_name,
+            scheduler_factory=scheduler_factory,
+            per_user_limit=per_user_limit,
+        )
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        harness.stop(graceful=True)

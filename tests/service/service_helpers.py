@@ -1,0 +1,122 @@
+"""Deterministic executors and an in-process server harness.
+
+Two executor stand-ins make concurrency deterministic:
+
+* :class:`GateExecutor` — submits nothing until released.  Runs stay
+  in the ``running`` state for as long as the test wants, which is how
+  the per-user admission tests freeze the world.
+* :class:`StepExecutor` — one semaphore permit per job, executing the
+  *real* simulation for each released job.  Tests release exactly N
+  permits, see exactly N ``job_finished`` events, and know the cache
+  holds exactly N values (the scheduler stores before it emits).
+
+:class:`ServiceHarness` boots the full stack (store + registry +
+asyncio HTTP server on a background loop thread) against a temporary
+database, exactly like ``repro serve`` but in-process; ``graceful=False``
+teardown leaves the store rows as an unclean kill would, for the
+restart/resume tests.
+"""
+
+import asyncio
+import threading
+
+from repro.core.executors import Executor, JobOutcome, execute_job_instrumented
+from repro.core.spec import EvaluationSpec
+from repro.service.client import ServiceClient
+from repro.service.registry import JobRegistry
+from repro.service.server import ServiceServer
+from repro.service.store import RunStore
+
+_TINY = dict(
+    tpl_sizes=(1024,),
+    global_sum_ints=2_000,
+    apps=("montecarlo",),
+    app_params={"montecarlo": {"samples": 5_000}},
+)
+
+
+def tiny_spec(**overrides):
+    """A seconds-scale spec: one tool -> 5 jobs, two tools -> 10."""
+    kwargs = dict(_TINY)
+    kwargs.setdefault("tools", ("p4",))
+    kwargs.update(overrides)
+    return EvaluationSpec(**kwargs)
+
+
+class GateExecutor(Executor):
+    """Submits nothing until released — freezes runs in flight."""
+
+    name = "gate"
+
+    def __init__(self):
+        self.release = threading.Event()
+
+    def submit(self, jobs, retries=1):
+        for job in jobs:
+            self.release.wait()
+            yield JobOutcome(1.0, 0.001, 1)
+
+
+class StepExecutor(Executor):
+    """Executes one (real) job per released permit.
+
+    After ``steps.release(n)`` exactly ``n`` jobs finish and land in
+    the cache; the next job blocks with its ``job_started`` already
+    emitted.  Shared across a registry's schedulers via the factory.
+    """
+
+    name = "step"
+
+    def __init__(self):
+        self.steps = threading.Semaphore(0)
+
+    def submit(self, jobs, retries=1):
+        for job in jobs:
+            self.steps.acquire()
+            yield execute_job_instrumented(job, retries)
+
+
+class ServiceHarness(object):
+    """Store + registry + HTTP server on a background event loop."""
+
+    def __init__(self, db_path, scheduler_factory=None, per_user_limit=2):
+        self.store = RunStore(str(db_path))
+        self.recovered = self.store.recover()
+        self.registry = JobRegistry(
+            self.store, scheduler_factory, per_user_limit=per_user_limit
+        )
+        self.server = ServiceServer(self.registry)
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.server.start())
+            started.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=run, name="service-harness-loop", daemon=True
+        )
+        self._thread.start()
+        assert started.wait(10), "server failed to start"
+        self.port = self.server.port
+        self._stopped = False
+
+    def client(self, user=None):
+        return ServiceClient(port=self.port, user=user, timeout=30.0)
+
+    def stop(self, graceful=True):
+        """``graceful=False`` skips the registry shutdown: store rows
+        stay exactly as an unclean process death would leave them."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(self.server.close(), self._loop)
+        future.result(10)
+        if graceful:
+            self.registry.shutdown(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10)
+        self._loop.close()
+        self.store.close()

@@ -1,0 +1,174 @@
+"""RunStore: the state machine, persistence across reopen, recovery.
+
+The store is the service's memory — these tests pin down that illegal
+state moves are refused (not silently recorded), that a reopened
+database still holds every run, and that :meth:`RunStore.recover`
+reconciles the rows an unclean shutdown leaves behind.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.store import (
+    RUN_STATES,
+    TERMINAL_STATES,
+    VALID_TRANSITIONS,
+    RunStore,
+    spec_hash,
+)
+
+SPEC = {"tools": ["p4"], "tpl_sizes": [1024]}
+
+
+@pytest.fixture
+def store(tmp_path):
+    with RunStore(str(tmp_path / "runs.db")) as s:
+        yield s
+
+
+class TestSchemaAndCreate:
+    def test_wal_mode_on_file_databases(self, tmp_path):
+        with RunStore(str(tmp_path / "wal.db")) as store:
+            mode = store._db.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+
+    def test_create_returns_queued_record(self, store):
+        record = store.create("abc123", "alice", SPEC)
+        assert record["run_id"] == "abc123"
+        assert record["user"] == "alice"
+        assert record["state"] == "queued"
+        assert record["spec"] == SPEC
+        assert record["spec_hash"] == spec_hash(SPEC)
+        assert record["result"] is None
+        assert record["started_at"] is None
+
+    def test_duplicate_run_id_refused(self, store):
+        store.create("abc123", "alice", SPEC)
+        with pytest.raises(ServiceError, match="already exists"):
+            store.create("abc123", "bob", SPEC)
+
+    def test_unknown_run_raises(self, store):
+        with pytest.raises(ServiceError, match="unknown run"):
+            store.get("nope")
+        with pytest.raises(ServiceError, match="unknown run"):
+            store.transition("nope", "running")
+
+    def test_spec_hash_is_content_addressed(self):
+        assert spec_hash({"a": 1, "b": 2}) == spec_hash({"b": 2, "a": 1})
+        assert spec_hash({"a": 1}) != spec_hash({"a": 2})
+
+
+class TestStateMachine:
+    def test_happy_path_stamps_timestamps_and_counters(self, store):
+        store.create("r1", "alice", SPEC)
+        running = store.transition("r1", "running")
+        assert running["started_at"] is not None
+        done = store.transition(
+            "r1", "completed", simulated=3, cache_hits=2,
+            wall_seconds=1.5, result={"scores": {"p4": 1.0}},
+        )
+        assert done["state"] == "completed"
+        assert done["finished_at"] is not None
+        assert done["simulated"] == 3
+        assert done["cache_hits"] == 2
+        assert done["wall_seconds"] == 1.5
+        assert done["result"] == {"scores": {"p4": 1.0}}
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_states_accept_no_successor(self, store, terminal):
+        store.create("r1", "alice", SPEC)
+        if terminal == "completed":  # only reachable via running
+            store.transition("r1", "running")
+        store.transition("r1", terminal)
+        for successor in RUN_STATES:
+            with pytest.raises(ServiceError, match="invalid transition"):
+                store.transition("r1", successor)
+
+    def test_unknown_state_name_refused(self, store):
+        store.create("r1", "alice", SPEC)
+        with pytest.raises(ServiceError, match="unknown run state"):
+            store.transition("r1", "paused")
+
+    def test_illegal_move_changes_nothing(self, store):
+        store.create("r1", "alice", SPEC)
+        with pytest.raises(ServiceError):
+            store.transition("r1", "completed")  # queued -> completed
+        assert store.get("r1")["state"] == "queued"
+
+    def test_transition_table_matches_declared_states(self):
+        assert set(VALID_TRANSITIONS) == set(RUN_STATES)
+        for state in TERMINAL_STATES:
+            assert not VALID_TRANSITIONS[state]
+
+    def test_failed_records_error_message(self, store):
+        store.create("r1", "alice", SPEC)
+        store.transition("r1", "running")
+        failed = store.transition("r1", "failed", error="ValueError: boom")
+        assert failed["error"] == "ValueError: boom"
+
+
+class TestListingAndPersistence:
+    def test_list_newest_first_and_user_filter(self, store):
+        store.create("r1", "alice", SPEC)
+        store.create("r2", "bob", SPEC)
+        store.create("r3", "alice", SPEC)
+        everyone = store.list_runs()
+        assert [r["run_id"] for r in everyone] == ["r3", "r2", "r1"]
+        assert all("result" not in r for r in everyone)
+        assert [r["run_id"] for r in store.list_runs("alice")] == ["r3", "r1"]
+        assert store.list_runs("nobody") == []
+
+    def test_reopened_database_keeps_history(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with RunStore(path) as store:
+            store.create("r1", "alice", SPEC)
+            store.transition("r1", "running")
+            store.transition(
+                "r1", "completed", simulated=5, cache_hits=0,
+                result={"scores": {}},
+            )
+        with RunStore(path) as reopened:
+            record = reopened.get("r1")
+            assert record["state"] == "completed"
+            assert record["simulated"] == 5
+            assert record["spec"] == SPEC
+
+    def test_concurrent_creates_all_land(self, store):
+        errors = []
+
+        def create(i):
+            try:
+                store.create("run-%03d" % i, "alice", SPEC)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=create, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(store.list_runs()) == 16
+
+
+class TestRecover:
+    def test_recover_reconciles_orphans(self, tmp_path):
+        path = str(tmp_path / "crash.db")
+        with RunStore(path) as store:
+            store.create("ran", "alice", SPEC)
+            store.transition("ran", "running")
+            store.create("waiting", "alice", SPEC)
+            store.create("done", "alice", SPEC)
+            store.transition("done", "running")
+            store.transition("done", "completed", simulated=5, cache_hits=0)
+            # no clean shutdown: rows left as the process died
+        with RunStore(path) as reopened:
+            assert reopened.recover() == 2
+            assert reopened.get("ran")["state"] == "failed"
+            assert "unclean" in reopened.get("ran")["error"]
+            assert reopened.get("waiting")["state"] == "cancelled"
+            assert reopened.get("done")["state"] == "completed"
+            # second call is a no-op
+            assert reopened.recover() == 0
