@@ -60,7 +60,7 @@ def run_evaluation(
     backend: Optional[str] = None,
     cache=None,
     cache_dir: Optional[str] = None,
-    shards: int = 1,
+    shards: Optional[int] = None,
     stats: bool = False,
     echo: bool = False,
     on_event=None,
@@ -83,9 +83,10 @@ def run_evaluation(
         across calls, so successive sweeps reuse measurements.
     cache_dir:
         Alternatively, a directory for a persistent on-disk cache
-        (optionally split over ``shards`` sub-stores): an interrupted
-        sweep re-launched with the same directory simulates only the
-        jobs the first run never finished.
+        (optionally split over ``shards`` sub-stores; ``None`` adopts
+        the directory's recorded roster): an interrupted sweep
+        re-launched with the same directory simulates only the jobs
+        the first run never finished.
     stats:
         With ``echo``, print the multi-seed mean ±CI table instead of
         one row per seed.

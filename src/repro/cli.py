@@ -91,11 +91,28 @@ streaming execution:
   done/total, simulated vs cache-hit counts and an ETA — while stdout
   keeps only the report (safe to pipe/--json).  --backend picks the
   executor: serial, process (worker processes; the default for
-  --jobs > 1) or async (an asyncio event loop, --jobs concurrent
-  simulations).  --jobs auto sizes the pool to the machine's CPUs.
-  Ctrl-C cancels cooperatively: in-flight jobs finish and persist, so
-  an interrupted sweep resumes over the same --cache-dir exactly like
-  a killed one.
+  --jobs > 1), async (an asyncio event loop, --jobs concurrent
+  simulations) or remote (see below).  --jobs auto sizes the pool to
+  the machine's CPUs.  Ctrl-C cancels cooperatively: in-flight jobs
+  finish and persist, so an interrupted sweep resumes over the same
+  --cache-dir exactly like a killed one.
+
+distributed execution:
+  --backend remote --queue DIR turns this command into a coordinator:
+  jobs are published as tickets on the shared queue directory and any
+  number of `repro worker` processes (same --queue, same --cache-dir)
+  pull, execute and publish them back.  --jobs sizes the admission
+  window (how many tickets stay published), not a local pool.  A
+  worker that dies mid-job is detected by its stopped heartbeat and
+  its tickets are re-claimed by the fleet; Ctrl-C revokes every
+  unclaimed ticket (claimed ones finish and persist).
+
+  example (one coordinator, two workers, shared sharded cache):
+    repro worker --queue /nfs/q --cache-dir /nfs/cache &
+    repro worker --queue /nfs/q --cache-dir /nfs/cache &
+    repro evaluate --platforms sun-ethernet alpha-fddi \\
+        --backend remote --queue /nfs/q --cache-dir /nfs/cache \\
+        --shards 4 --jobs 4 --progress
 """,
     )
     evaluate.add_argument("--platform", default=None,
@@ -125,11 +142,18 @@ streaming execution:
                                "'auto' = one per CPU); the pool starts once "
                                "and is reused across every scheduler pass "
                                "of the run")
-    evaluate.add_argument("--backend", choices=("serial", "process", "async"),
+    evaluate.add_argument("--backend",
+                          choices=("serial", "process", "async", "remote"),
                           default=None,
                           help="executor backend (default: serial for "
                                "--jobs 1, process otherwise; async runs "
-                               "--jobs simulations on an asyncio loop)")
+                               "--jobs simulations on an asyncio loop; "
+                               "remote coordinates `repro worker` "
+                               "processes over --queue)")
+    evaluate.add_argument("--queue", metavar="DIR", default=None,
+                          help="shared job-queue directory for "
+                               "--backend remote (the one your "
+                               "`repro worker` processes watch)")
     evaluate.add_argument("--progress", action="store_true",
                           help="stream live progress (done/total, cache "
                                "hits, ETA) to stderr while the sweep runs")
@@ -137,15 +161,72 @@ streaming execution:
                           help="persistent measurement cache: interrupted "
                                "sweeps resume, repeated sweeps re-simulate "
                                "nothing")
-    evaluate.add_argument("--shards", type=int, default=1,
+    evaluate.add_argument("--shards", type=int, default=None,
                           help="split --cache-dir into N deterministic "
-                               "sub-stores (default 1)")
+                               "sub-stores (default: adopt the directory's "
+                               "recorded shard count, 1 when fresh)")
     evaluate.add_argument("--stats", action="store_true",
                           help="aggregate across seeds: mean ±95%% CI per "
                                "(platform, profile, tool) cell")
     evaluate.add_argument("--json", metavar="PATH", default=None,
                           help="write samples, scores, statistics and "
                                "telemetry to a JSON file")
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull and execute jobs from a shared queue directory",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+worker-pull execution:
+  One claim-execute-publish loop over --queue: tickets are leased via
+  atomic rename (exactly one of N racing workers wins each), a
+  background heartbeat keeps the lease fresh, and results go through
+  the shared --cache-dir (content-addressed, atomic writes) plus a
+  per-ticket outcome file the coordinator consumes.  Workers check
+  the cache before simulating, so a ticket reclaimed from a dead
+  worker whose result already landed costs a lookup, not a re-run.
+
+  The worker adopts the cache directory's recorded shard roster
+  (manifest.json); pass --shards only to pin it explicitly — a
+  mismatch is an error, never silent re-routing.
+
+  SIGTERM/Ctrl-C stop gracefully: the ticket in flight finishes and
+  persists, then the loop exits and prints its counters.  --idle-exit
+  N makes a batch worker drain the queue and leave once it has been
+  empty for N seconds; --max-jobs bounds how many tickets one worker
+  processes.
+
+  example (two workers draining one coordinator's sweep):
+    repro worker --queue /nfs/q --cache-dir /nfs/cache --idle-exit 30 &
+    repro worker --queue /nfs/q --cache-dir /nfs/cache --idle-exit 30 &
+    repro evaluate --backend remote --queue /nfs/q --cache-dir /nfs/cache
+""",
+    )
+    worker.add_argument("--queue", metavar="DIR", required=True,
+                        help="shared job-queue directory to pull from")
+    worker.add_argument("--cache-dir", metavar="DIR", required=True,
+                        help="shared measurement cache results are "
+                             "published through")
+    worker.add_argument("--shards", type=int, default=None,
+                        help="pin the cache shard roster (default: adopt "
+                             "the directory's manifest)")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity for leases and "
+                             "beacons (default host-pid-nonce)")
+    worker.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                        help="sleep between claim attempts when the queue "
+                             "is empty (default 0.1)")
+    worker.add_argument("--lease-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="heartbeat-silence span after which any "
+                             "process may reclaim this worker's tickets "
+                             "(default 30)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after processing N tickets")
+    worker.add_argument("--idle-exit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit once the queue stayed empty this long "
+                             "(default: run until SIGTERM)")
 
     experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
     experiment.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -175,6 +256,11 @@ evaluation as a service:
   cooperatively (in-flight jobs finish and persist), queued runs are
   marked cancelled, then the server exits 0.
 
+  With --backend remote --queue DIR the server stops executing jobs
+  itself and fans every submitted run out to the `repro worker` fleet
+  watching that queue (same --cache-dir on both sides); submit,
+  streaming, cancellation and history behave identically.
+
   example:
     repro serve --port 8765 --db runs.db --cache-dir .repro-cache \\
         --jobs 2 --user-limit 2
@@ -191,16 +277,22 @@ evaluation as a service:
     serve.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persistent measurement cache shared by "
                             "every run the server executes")
-    serve.add_argument("--shards", type=int, default=1,
-                       help="split --cache-dir into N sub-stores "
-                            "(default 1)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="split --cache-dir into N sub-stores (default: "
+                            "adopt the directory's recorded shard count)")
     serve.add_argument("--jobs", type=_jobs_argument, default=1,
                        metavar="N|auto",
                        help="workers per evaluation run (default 1)")
-    serve.add_argument("--backend", choices=("serial", "process", "async"),
+    serve.add_argument("--backend",
+                       choices=("serial", "process", "async", "remote"),
                        default=None,
                        help="executor backend per run (default: serial "
-                            "for --jobs 1, process otherwise)")
+                            "for --jobs 1, process otherwise; remote "
+                            "fans every run out to `repro worker` "
+                            "processes over --queue)")
+    serve.add_argument("--queue", metavar="DIR", default=None,
+                       help="shared job-queue directory for "
+                            "--backend remote")
     serve.add_argument("--user-limit", type=int, default=2,
                        help="concurrent runs per X-User identity; "
                             "further submissions queue FIFO (default 2)")
@@ -300,7 +392,8 @@ def _cmd_evaluate(args) -> int:
         # The scheduler's context manager shuts the (persistent,
         # reused-across-passes) worker pool down when the run is over.
         with Scheduler(
-            executor=create_executor(args.jobs, backend=args.backend),
+            executor=create_executor(args.jobs, backend=args.backend,
+                                     queue_dir=args.queue),
             cache_dir=args.cache_dir,
             shards=args.shards,
         ) as scheduler:
@@ -339,6 +432,59 @@ def _cmd_evaluate(args) -> int:
             print("error: cannot write %s (%s)" % (args.json, error))
             return 2
         print("wrote %s" % args.json)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import signal
+
+    from repro.core.cache import ResultCache, ShardedBackend
+    from repro.distributed import JobQueue, Worker
+    from repro.errors import ReproError
+
+    try:
+        queue = JobQueue(args.queue, lease_timeout=args.lease_timeout)
+        cache = ResultCache.on_disk(args.cache_dir, shards=args.shards)
+
+        def narrate(claim, outcome) -> None:
+            # One machine-parseable line per ticket: the CI smoke job
+            # greps these to prove the fleet split work disjointly.
+            if outcome["error"]:
+                status = "failed type=%s" % outcome["error"]["type"]
+            elif outcome["cache_hit"]:
+                status = "cache-hit"
+            else:
+                status = "simulated"
+            print("[%s] ticket=%s %s wall=%.3fs"
+                  % (worker.worker_id, claim.ticket, status,
+                     outcome["wall_seconds"]), flush=True)
+
+        worker = Worker(
+            queue, cache,
+            worker_id=args.worker_id,
+            poll_interval=args.poll,
+            max_jobs=args.max_jobs,
+            idle_seconds=args.idle_exit,
+            on_job=narrate,
+        )
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    # Graceful stop: the ticket in flight finishes and persists, then
+    # the loop exits — a worker killed harder than this is exactly
+    # what heartbeats + stale-lease reclaim exist for.
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: worker.stop())
+    shards = (len(cache.backend.backends)
+              if isinstance(cache.backend, ShardedBackend) else 1)
+    print("worker %s pulling from %s (cache %s, %d shard(s))"
+          % (worker.worker_id, args.queue, args.cache_dir, shards),
+          flush=True)
+    stats = worker.run()
+    print("worker %s done: %d processed, %d simulated, %d cache hits, "
+          "%d failed"
+          % (worker.worker_id, stats["processed"], stats["simulated"],
+             stats["cache_hits"], stats["failed"]))
     return 0
 
 
@@ -399,9 +545,14 @@ def _cmd_serve(args) -> int:
 
         def scheduler_factory() -> Scheduler:
             return Scheduler(
-                executor=create_executor(args.jobs, backend=args.backend),
+                executor=create_executor(args.jobs, backend=args.backend,
+                                         queue_dir=args.queue),
                 cache=cache,
             )
+
+        # Fail a bad backend/queue combination at boot, not inside the
+        # first submitted run.
+        scheduler_factory().executor.close()
 
         registry = JobRegistry(
             store, scheduler_factory=scheduler_factory,
@@ -461,6 +612,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "experiment":
         return _cmd_experiment(args.ids)
     if args.command == "usability":

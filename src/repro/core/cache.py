@@ -44,8 +44,11 @@ from repro.errors import EvaluationError
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CACHE_MANIFEST_NAME",
     "MISSING",
     "job_key",
+    "read_cache_manifest",
+    "resolve_cache_layout",
     "CacheBackend",
     "MemoryBackend",
     "DiskBackend",
@@ -57,6 +60,14 @@ __all__ = [
 #: changes: every entry written under another version reads as a
 #: miss, so old cache directories drain instead of poisoning runs.
 CACHE_SCHEMA_VERSION = 1
+
+#: Root-level file every ``on_disk`` cache keeps, recording the shard
+#: roster the directory was created with.  Shard routing is a pure
+#: function of ``(key, shard count)``, so reopening a directory with a
+#: different count silently re-routes every key — warm entries become
+#: misses and duplicates are written.  The manifest turns that drift
+#: into a loud :class:`EvaluationError` at open time instead.
+CACHE_MANIFEST_NAME = "manifest.json"
 
 
 class _Missing(object):
@@ -83,6 +94,128 @@ def job_key(job: MeasurementJob) -> str:
         default=repr,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def read_cache_manifest(root: str) -> Optional[dict]:
+    """The directory's layout manifest, or None if absent/unreadable.
+
+    Corrupt or half-written manifests read as absent rather than
+    raising: the layout is then re-inferred from the directory
+    contents, which is what pre-manifest directories get anyway.
+    """
+    try:
+        with open(os.path.join(os.fspath(root), CACHE_MANIFEST_NAME), "r") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    shards, layout = data.get("shards"), data.get("layout")
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        return None
+    if layout not in ("flat", "sharded"):
+        return None
+    return data
+
+
+def _write_cache_manifest(root: str, shards: int, layout: str) -> None:
+    """Persist the layout manifest (atomically; no-op if current)."""
+    root = os.fspath(root)
+    existing = read_cache_manifest(root)
+    if (
+        existing is not None
+        and existing["shards"] == shards
+        and existing["layout"] == layout
+        and existing.get("schema") == CACHE_SCHEMA_VERSION
+    ):
+        return
+    os.makedirs(root, exist_ok=True)
+    payload = {"schema": CACHE_SCHEMA_VERSION, "shards": shards, "layout": layout}
+    fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp_path, os.path.join(root, CACHE_MANIFEST_NAME))
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _infer_cache_layout(root: str) -> Optional[Tuple[int, str]]:
+    """Infer ``(shards, layout)`` from a pre-manifest directory.
+
+    ``shard-NN`` subdirectories mean a sharded layout (their count is
+    the roster size); two-hex-digit fanout buckets mean the flat
+    single-backend layout; an empty or unrelated directory infers
+    nothing.
+    """
+    try:
+        names = os.listdir(os.fspath(root))
+    except OSError:
+        return None
+    shard_dirs = [
+        name
+        for name in names
+        if name.startswith("shard-")
+        and name[len("shard-"):].isdigit()
+        and os.path.isdir(os.path.join(root, name))
+    ]
+    if shard_dirs:
+        return len(shard_dirs), "sharded"
+    for name in names:
+        if (
+            len(name) == 2
+            and all(ch in "0123456789abcdef" for ch in name)
+            and os.path.isdir(os.path.join(root, name))
+        ):
+            return 1, "flat"
+    return None
+
+
+def resolve_cache_layout(
+    root: str,
+    shards: Optional[int],
+    layout: Optional[str] = None,
+) -> Tuple[int, str]:
+    """Reconcile a requested shard roster with what ``root`` holds.
+
+    ``shards=None`` adopts whatever the directory records (manifest
+    first, inferred layout for pre-manifest directories, flat for a
+    fresh one).  An explicit request must match the record — a
+    mismatch raises :class:`EvaluationError` naming both counts,
+    because silently re-routing keys would turn every warm entry into
+    a miss and write duplicates.
+    """
+    if shards is not None and shards < 1:
+        raise EvaluationError("shards must be >= 1")
+    manifest = read_cache_manifest(root)
+    if manifest is not None:
+        recorded: Optional[Tuple[int, str]] = (manifest["shards"], manifest["layout"])
+    else:
+        recorded = _infer_cache_layout(root)
+    if recorded is None:
+        if shards is None:
+            return 1, layout or "flat"
+        return shards, layout or ("flat" if shards == 1 else "sharded")
+    recorded_shards, recorded_layout = recorded
+    if shards is not None and shards != recorded_shards:
+        raise EvaluationError(
+            "cache directory %s was created with %d shard(s) but opened "
+            "with shards=%d; shard routing is part of the on-disk layout, "
+            "so reopen with shards=%d (or point at a fresh directory)"
+            % (root, recorded_shards, shards, recorded_shards)
+        )
+    if layout is not None and layout != recorded_layout:
+        raise EvaluationError(
+            "cache directory %s uses the %s layout but was opened as %s "
+            "(%d shard(s) both times); flat and shard-NN layouts do not "
+            "mix, so reopen to match or point at a fresh directory"
+            % (root, recorded_layout, layout, recorded_shards)
+        )
+    return recorded_shards, recorded_layout
 
 
 class CacheBackend(object):
@@ -157,6 +290,14 @@ class DiskBackend(CacheBackend):
 
     A small read-through memo avoids re-parsing a file on repeated
     lookups within one process; durability always comes from disk.
+
+    Thread-safe: one disk-backed cache may serve several concurrent
+    scheduler runs (``repro serve --cache-dir`` does exactly this), so
+    the memo — a plain dict mutated on every read-through and write —
+    is guarded by a lock.  File I/O itself stays outside the lock:
+    the atomic ``os.replace`` write protocol already makes concurrent
+    writers of the same key race harmlessly, and holding a lock across
+    a disk read would serialize every lookup of every run.
     """
 
     name = "disk"
@@ -171,6 +312,7 @@ class DiskBackend(CacheBackend):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self._memo: Dict[str, Optional[float]] = {}
+        self._lock = threading.Lock()
         # Kill-and-resume is an advertised workflow, so orphaned temp
         # files are expected litter; sweep opportunistically on open
         # (age-guarded: a concurrent writer's in-flight temp survives).
@@ -195,13 +337,15 @@ class DiskBackend(CacheBackend):
         return entry
 
     def get(self, key: str):
-        if key in self._memo:
-            return self._memo[key]
+        with self._lock:
+            if key in self._memo:
+                return self._memo[key]
         entry = self._read_entry(self._path(key))
         if entry is None:
             return MISSING
         value = entry["seconds"]
-        self._memo[key] = value
+        with self._lock:
+            self._memo[key] = value
         return value
 
     def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
@@ -225,7 +369,8 @@ class DiskBackend(CacheBackend):
             except OSError:
                 pass
             raise
-        self._memo[key] = value
+        with self._lock:
+            self._memo[key] = value
 
     def _entry_paths(self) -> Iterator[str]:
         try:
@@ -316,7 +461,8 @@ class DiskBackend(CacheBackend):
         # (unconditionally — nobody clears a cache mid-write on
         # purpose, and the old behavior left *.tmp files forever).
         self._sweep_tmp()
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
 
 
 class ShardedBackend(CacheBackend):
@@ -338,12 +484,18 @@ class ShardedBackend(CacheBackend):
 
     @classmethod
     def on_disk(cls, root: str, shards: int) -> "ShardedBackend":
-        """N :class:`DiskBackend` children under ``root/shard-NN``."""
-        if shards < 1:
-            raise EvaluationError("shards must be >= 1")
+        """N :class:`DiskBackend` children under ``root/shard-NN``.
+
+        Persists the shard roster in the root ``manifest.json`` and
+        validates it on reopen: a count that disagrees with what the
+        directory was created with raises :class:`EvaluationError`
+        instead of silently re-routing keys.
+        """
+        count, _ = resolve_cache_layout(root, shards, "sharded")
+        _write_cache_manifest(root, count, "sharded")
         return cls(
             [DiskBackend(os.path.join(os.fspath(root), "shard-%02d" % index))
-             for index in range(shards)]
+             for index in range(count)]
         )
 
     def shard_index(self, key: str) -> int:
@@ -396,13 +548,23 @@ class ResultCache(object):
         self._keys: Dict[MeasurementJob, str] = {}
 
     @classmethod
-    def on_disk(cls, cache_dir: str, shards: int = 1) -> "ResultCache":
-        """A persistent cache under ``cache_dir`` (sharded if > 1)."""
-        if shards < 1:
-            raise EvaluationError("shards must be >= 1")
-        if shards == 1:
+    def on_disk(cls, cache_dir: str, shards: Optional[int] = None) -> "ResultCache":
+        """A persistent cache under ``cache_dir`` (sharded if > 1).
+
+        ``shards=None`` adopts the directory's recorded layout (its
+        ``manifest.json``, inferred from the directory contents for
+        pre-manifest caches; a fresh directory is flat).  An explicit
+        count must match the record — reopening with a different
+        roster raises :class:`EvaluationError` naming both counts.
+        """
+        requested_layout = None
+        if shards is not None:
+            requested_layout = "flat" if shards == 1 else "sharded"
+        count, layout = resolve_cache_layout(cache_dir, shards, requested_layout)
+        if layout == "flat":
+            _write_cache_manifest(cache_dir, 1, "flat")
             return cls(DiskBackend(cache_dir))
-        return cls(ShardedBackend.on_disk(cache_dir, shards))
+        return cls(ShardedBackend.on_disk(cache_dir, count))
 
     def key(self, job: MeasurementJob) -> str:
         with self._lock:
@@ -434,7 +596,8 @@ class ResultCache(object):
 
     def peek(self, job: MeasurementJob) -> Optional[float]:
         """The cached sample, without touching the hit/miss counters."""
-        value = self.backend.get(self.key(job))
+        with self._lock:
+            value = self.backend.get(self.key(job))
         if value is MISSING:
             raise KeyError(job)
         return value

@@ -25,9 +25,12 @@ lifecycle is ``close()`` / context manager, and capability flags
   so asyncio-native deployments and the synchronous scheduler share
   one backend.
 
-A future remote-worker backend only has to implement ``submit`` (and
-share the sharded disk cache); the protocol-conformance suite in
-``tests/core/test_executor_protocol.py`` is written to be reused by it.
+A fourth backend lives in :mod:`repro.distributed`:
+``RemoteExecutor`` publishes jobs to an on-disk queue that
+``repro worker`` processes pull from, sharing results through the
+sharded disk cache — it implements exactly ``submit`` and passes the
+protocol-conformance suite in ``tests/core/test_executor_protocol.py``
+unchanged.
 
 The legacy entry points survive as thin conveniences on the base
 class: ``run(jobs)`` drains ``submit`` into a value list and
@@ -382,7 +385,7 @@ class AsyncExecutor(Executor):
 
 
 #: Backend names :func:`create_executor` understands.
-EXECUTOR_BACKENDS = ("serial", "process", "async")
+EXECUTOR_BACKENDS = ("serial", "process", "async", "remote")
 
 
 def resolve_workers(jobs: Union[int, str, None]) -> int:
@@ -408,24 +411,43 @@ def resolve_workers(jobs: Union[int, str, None]) -> int:
 
 
 def create_executor(
-    jobs: Union[int, str, None] = 1, backend: Optional[str] = None
+    jobs: Union[int, str, None] = 1,
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
 ) -> Executor:
     """Executor for a ``--jobs N [--backend B]`` style request.
 
     ``jobs`` accepts a positive integer or ``"auto"`` (one worker per
     CPU).  ``backend`` picks the implementation explicitly — one of
     :data:`EXECUTOR_BACKENDS` — while the default keeps the classic
-    behavior: serial for one worker, a process pool otherwise.
+    behavior: serial for one worker, a process pool otherwise.  The
+    ``remote`` backend additionally needs ``queue_dir``, the shared
+    job-queue directory its ``repro worker`` fleet watches; ``jobs``
+    then sizes the coordinator's admission window, not a local pool.
     """
     workers = resolve_workers(jobs)
     if backend is None:
         backend = "serial" if workers == 1 else "process"
+    if backend != "remote" and queue_dir is not None:
+        raise EvaluationError(
+            "queue_dir only applies to the remote backend, not %r" % backend
+        )
     if backend == "serial":
         return SerialExecutor()
     if backend == "process":
         return ProcessPoolExecutor(max_workers=workers)
     if backend == "async":
         return AsyncExecutor(max_workers=workers)
+    if backend == "remote":
+        if queue_dir is None:
+            raise EvaluationError(
+                "the remote backend needs a queue directory (--queue DIR) "
+                "shared with its repro worker processes"
+            )
+        # Imported here: repro.distributed builds on this module.
+        from repro.distributed.executor import RemoteExecutor
+
+        return RemoteExecutor(queue_dir=queue_dir, max_workers=workers)
     raise EvaluationError(
         "unknown executor backend %r; available: %s"
         % (backend, ", ".join(EXECUTOR_BACKENDS))

@@ -393,9 +393,10 @@ class Scheduler(object):
         to wrap in a fresh ``ResultCache``.
     cache_dir:
         Alternatively, a directory for a persistent on-disk cache
-        (optionally split over ``shards`` sub-stores); an interrupted
-        sweep re-launched with the same directory simulates only the
-        jobs the first run never finished.
+        (optionally split over ``shards`` sub-stores; the default
+        ``None`` adopts the directory's recorded shard roster); an
+        interrupted sweep re-launched with the same directory
+        simulates only the jobs the first run never finished.
     retries:
         Attempts per job before an unexpected simulation failure
         propagates (1 = no retry).
@@ -411,7 +412,7 @@ class Scheduler(object):
         cache: Optional[ResultCache] = None,
         cache_backend: Optional[CacheBackend] = None,
         cache_dir: Optional[str] = None,
-        shards: int = 1,
+        shards: Optional[int] = None,
         retries: int = 1,
     ) -> None:
         if sum(option is not None for option in (cache, cache_backend, cache_dir)) > 1:

@@ -43,10 +43,27 @@ from repro.core.spec import EvaluationSpec
 from repro.errors import RunCancelled, ServiceError
 from repro.service.store import RunStore, TERMINAL_STATES
 
-__all__ = ["DEFAULT_USER", "JobRegistry", "progress_to_dict"]
+__all__ = ["DEFAULT_USER", "normalize_user", "JobRegistry", "progress_to_dict"]
 
 #: The user a request without an ``X-User`` header is accounted to.
 DEFAULT_USER = "anonymous"
+
+
+def normalize_user(user: Optional[str]) -> str:
+    """The accounting identity a request is billed to.
+
+    Absent means :data:`DEFAULT_USER`; a present id is stripped of
+    surrounding whitespace so ``"alice"`` and ``"alice "`` share one
+    quota bucket.  Present-but-blank is rejected: it is always a
+    misconfigured client, and letting it fall through to the
+    anonymous bucket would silently merge distinct clients' quotas.
+    """
+    if user is None:
+        return DEFAULT_USER
+    user = user.strip()
+    if not user:
+        raise ServiceError("user id must not be blank")
+    return user
 
 
 def progress_to_dict(progress: Progress) -> dict:
@@ -134,7 +151,7 @@ class JobRegistry(object):
         dict form (validated here, so malformed submissions fail
         before anything persists).
         """
-        user = user or DEFAULT_USER
+        user = normalize_user(user)
         if not isinstance(spec, EvaluationSpec):
             spec = EvaluationSpec.from_dict(dict(spec))
         with self._lock:
@@ -250,6 +267,10 @@ class JobRegistry(object):
         return record
 
     def list_runs(self, user: Optional[str] = None) -> List[dict]:
+        # Filters normalize like identities do, except blank means "no
+        # filter" (a query parameter, not a billed identity).
+        if user is not None:
+            user = user.strip() or None
         return self.store.list_runs(user)
 
     # -- cancellation --------------------------------------------------

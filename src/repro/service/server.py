@@ -223,7 +223,7 @@ class ServiceServer(object):
     async def _route(self, method, target, headers, body, writer) -> None:
         url = urlsplit(target)
         path = url.path.rstrip("/") or "/"
-        user = headers.get("x-user") or None
+        user = self._identity(headers)
 
         if path == "/api/health":
             self._require(method, "GET")
@@ -260,6 +260,19 @@ class ServiceServer(object):
         else:  # /events
             self._require(method, "GET")
             await self._stream_events(writer, run_id)
+
+    @staticmethod
+    def _identity(headers) -> Optional[str]:
+        """The request's user id: absent means anonymous, present
+        means non-blank.  A blank/whitespace X-User is always a
+        misconfigured client — rejecting it with a 400 beats silently
+        billing it to the shared anonymous quota bucket."""
+        if "x-user" not in headers:
+            return None
+        user = headers["x-user"].strip()
+        if not user:
+            raise _HttpError(400, "X-User header must not be blank")
+        return user
 
     @staticmethod
     def _require(method: str, expected: str) -> None:

@@ -137,6 +137,11 @@ class RunStore(object):
 
     def create(self, run_id: str, user: str, spec_dict: dict) -> Dict:
         """Insert a fresh ``queued`` run and return its record."""
+        user = (user or "").strip()
+        if not user:
+            # Last line of defense: a blank identity in the history
+            # database would merge misconfigured clients forever.
+            raise ServiceError("user id must not be blank")
         with self._lock:
             try:
                 self._db.execute(

@@ -201,7 +201,8 @@ class TestShardedBackend:
                 for s in range(12)]
         for index, key in enumerate(keys):
             backend.put(key, float(index))
-        assert sorted(os.listdir(str(tmp_path))) == ["shard-00", "shard-01", "shard-02"]
+        assert sorted(os.listdir(str(tmp_path))) == [
+            "manifest.json", "shard-00", "shard-01", "shard-02"]
         reopened = ShardedBackend.on_disk(str(tmp_path), shards=3)
         assert [reopened.get(key) for key in keys] == [float(i) for i in range(12)]
         assert len(reopened) == 12
@@ -329,3 +330,135 @@ class TestConcurrentAccess:
 
         self._hammer(worker, threads)
         assert len(backend) == threads * per_thread
+
+    @pytest.mark.parametrize("make_backend", [
+        lambda root: DiskBackend(root),
+        lambda root: ShardedBackend.on_disk(root, shards=3),
+    ], ids=["disk", "sharded"])
+    def test_disk_backends_concurrent_put_get(self, tmp_path, make_backend):
+        """`repro serve --cache-dir` shares one disk-backed store
+        across concurrent runs; the read-through memo must not tear."""
+        threads, per_thread = 8, 40
+        backend = make_backend(str(tmp_path))
+
+        def worker(index):
+            keys = [job_key(sendrecv_job("p4", "sun-ethernet", 1024,
+                                         seed=index * per_thread + offset))
+                    for offset in range(per_thread)]
+            for offset, key in enumerate(keys):
+                backend.put(key, float(offset))
+            for offset, key in enumerate(keys):
+                assert backend.get(key) == float(offset)
+
+        self._hammer(worker, threads)
+        assert len(backend) == threads * per_thread
+
+    def test_disk_backend_concurrent_same_keys(self, tmp_path):
+        """Every thread reads and re-writes the *same* keys — the
+        worst case for an unguarded memo dict (read-through inserts
+        racing writes), and a harmless one for the entry files
+        themselves (deterministic values, atomic replace)."""
+        threads, rounds = 8, 60
+        backend = DiskBackend(str(tmp_path))
+        keys = [job_key(sendrecv_job("p4", "sun-ethernet", 1024, seed=s))
+                for s in range(4)]
+        for offset, key in enumerate(keys):
+            backend.put(key, float(offset))
+
+        def worker(index):
+            for _ in range(rounds):
+                for offset, key in enumerate(keys):
+                    assert backend.get(key) == float(offset)
+                    backend.put(key, float(offset))
+
+        self._hammer(worker, threads)
+        assert [backend.get(key) for key in keys] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_peek_is_counter_neutral_under_concurrency(self, tmp_path):
+        """peek() now goes through the cache lock: hammering it while
+        lookups run must leave hits + misses == lookup calls exactly."""
+        threads, rounds = 8, 150
+        cache = ResultCache.on_disk(str(tmp_path))
+        cache.store(JOB, 1.0)
+
+        def worker(index):
+            for _ in range(rounds):
+                if index % 2:
+                    assert cache.peek(JOB) == 1.0
+                else:
+                    assert cache.lookup(JOB) == 1.0
+
+        self._hammer(worker, threads)
+        lookup_threads = threads // 2
+        assert cache.hits == lookup_threads * rounds
+        assert cache.misses == 0
+
+
+class TestCacheManifest:
+    """The shard roster is part of the on-disk layout; reopening with
+    a different one must fail loudly instead of silently re-routing."""
+
+    def test_manifest_written_on_create(self, tmp_path):
+        from repro.core.cache import CACHE_MANIFEST_NAME, read_cache_manifest
+
+        ResultCache.on_disk(str(tmp_path / "flat"))
+        ResultCache.on_disk(str(tmp_path / "sharded"), shards=4)
+        flat = read_cache_manifest(str(tmp_path / "flat"))
+        sharded = read_cache_manifest(str(tmp_path / "sharded"))
+        assert flat == {"schema": CACHE_SCHEMA_VERSION, "shards": 1,
+                        "layout": "flat"}
+        assert sharded == {"schema": CACHE_SCHEMA_VERSION, "shards": 4,
+                           "layout": "sharded"}
+        assert os.path.exists(
+            os.path.join(str(tmp_path / "flat"), CACHE_MANIFEST_NAME))
+
+    def test_default_adopts_recorded_roster(self, tmp_path):
+        key = job_key(JOB)
+        ResultCache.on_disk(str(tmp_path), shards=3).backend.put(key, 0.5)
+        adopted = ResultCache.on_disk(str(tmp_path))
+        assert isinstance(adopted.backend, ShardedBackend)
+        assert len(adopted.backend.backends) == 3
+        assert adopted.backend.get(key) == 0.5
+
+    def test_mismatched_roster_names_both_counts(self, tmp_path):
+        ResultCache.on_disk(str(tmp_path), shards=2)
+        with pytest.raises(EvaluationError) as excinfo:
+            ResultCache.on_disk(str(tmp_path), shards=5)
+        message = str(excinfo.value)
+        assert "2" in message and "shards=5" in message
+
+    def test_pre_manifest_directories_are_inferred(self, tmp_path):
+        from repro.core.cache import CACHE_MANIFEST_NAME
+
+        # A PR-6-era directory has entries but no manifest; the layout
+        # is inferred from its shard-NN (or hex-fanout) directories.
+        legacy = str(tmp_path / "legacy")
+        key = job_key(JOB)
+        ResultCache.on_disk(legacy, shards=3).backend.put(key, 0.5)
+        os.unlink(os.path.join(legacy, CACHE_MANIFEST_NAME))
+        with pytest.raises(EvaluationError):
+            ResultCache.on_disk(legacy, shards=2)
+        adopted = ResultCache.on_disk(legacy)
+        assert len(adopted.backend.backends) == 3
+        assert adopted.backend.get(key) == 0.5
+
+        flat = str(tmp_path / "flat")
+        ResultCache.on_disk(flat, shards=1).backend.put(key, 0.25)
+        os.unlink(os.path.join(flat, CACHE_MANIFEST_NAME))
+        with pytest.raises(EvaluationError):
+            ResultCache.on_disk(flat, shards=4)
+        assert isinstance(ResultCache.on_disk(flat).backend, DiskBackend)
+
+    def test_corrupt_manifest_reads_as_absent(self, tmp_path):
+        from repro.core.cache import CACHE_MANIFEST_NAME, read_cache_manifest
+
+        root = str(tmp_path)
+        ResultCache.on_disk(root, shards=2)
+        with open(os.path.join(root, CACHE_MANIFEST_NAME), "w") as handle:
+            handle.write("{torn")
+        assert read_cache_manifest(root) is None
+        # The shard-NN directories still tell the truth.
+        with pytest.raises(EvaluationError):
+            ResultCache.on_disk(root, shards=3)
+        reopened = ResultCache.on_disk(root)
+        assert len(reopened.backend.backends) == 2

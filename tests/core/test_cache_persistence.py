@@ -9,7 +9,7 @@ never duplicate a simulation.
 
 import pytest
 
-from repro.core.cache import DiskBackend, ResultCache
+from repro.core.cache import DiskBackend, ResultCache, ShardedBackend
 from repro.core.scheduler import (
     JobTelemetry,
     ProcessPoolExecutor,
@@ -117,15 +117,32 @@ class TestKillAndResume:
         assert resumed.simulations_run == 0
 
     def test_shard_count_must_match_to_resume(self, tmp_path):
-        """A different shard count is a different placement — entries
-        land elsewhere, so re-simulation is expected, not silent
-        corruption."""
+        """A different shard count is a different placement — the
+        manifest turns the silent re-route (warm entries becoming
+        misses, duplicates written) into a loud open-time error
+        naming both counts."""
         spec = tiny_spec(tools=("p4",))
         Scheduler(cache_dir=str(tmp_path), shards=2).run(spec)
-        mismatched = Scheduler(cache_dir=str(tmp_path), shards=3)
-        result = mismatched.run(spec)
-        assert 0 < mismatched.simulations_run <= spec.job_count()
-        assert result.values  # still correct, just partially re-simulated
+        with pytest.raises(EvaluationError, match=r"2 shard\(s\).*shards=3"):
+            Scheduler(cache_dir=str(tmp_path), shards=3)
+        # shards=None (the default) adopts the recorded roster and
+        # resumes warm: zero duplicate simulations.
+        adopted = Scheduler(cache_dir=str(tmp_path))
+        adopted.run(spec)
+        assert adopted.simulations_run == 0
+
+    def test_flat_and_sharded_layouts_do_not_mix(self, tmp_path):
+        spec = tiny_spec(tools=("p4",))
+        warm = Scheduler(cache_dir=str(tmp_path))  # flat layout
+        warm.run(spec)
+        with pytest.raises(EvaluationError, match=r"1 shard\(s\).*shards=4"):
+            Scheduler(cache_dir=str(tmp_path), shards=4)
+        # Same count, different layout: a shard-00 directory is not a
+        # flat one even though both route every key to one store.
+        sharded_root = str(tmp_path / "sharded")
+        ShardedBackend.on_disk(sharded_root, shards=1)
+        with pytest.raises(EvaluationError, match="layout"):
+            ResultCache.on_disk(sharded_root, shards=1)
 
 
 class TestCrossExecutorDeterminism:

@@ -14,7 +14,7 @@ from repro.core.cache import ResultCache
 from repro.core.progress import JobFinished, JobStarted, RunCompleted
 from repro.core.scheduler import Scheduler
 from repro.errors import EvaluationError, ServiceError
-from repro.service.registry import DEFAULT_USER, JobRegistry
+from repro.service.registry import DEFAULT_USER, JobRegistry, normalize_user
 from repro.service.store import RunStore
 
 from service_helpers import GateExecutor, StepExecutor, tiny_spec
@@ -70,6 +70,22 @@ class TestSubmitAndComplete:
                 registry.submit("alice", {"tools": ["no-such-tool"]})
         # the malformed submission never reached the store
         assert len(store.list_runs()) == 1
+
+    def test_user_identity_is_normalized(self, store):
+        assert normalize_user(None) == DEFAULT_USER
+        assert normalize_user("  alice  ") == "alice"
+        for blank in ("", "   ", "\t\n"):
+            with pytest.raises(ServiceError, match="blank"):
+                normalize_user(blank)
+        with JobRegistry(store) as registry:
+            record = registry.submit("  alice ", tiny_spec())
+            assert record["user"] == "alice"
+            wait_terminal(registry, record["run_id"])
+            with pytest.raises(ServiceError, match="blank"):
+                registry.submit("   ", tiny_spec())
+            # the trailing-space listing filter finds the same runs
+            assert registry.list_runs(" alice ") == registry.list_runs("alice")
+        assert len(store.list_runs()) == 1  # the blank one never landed
 
     def test_unknown_run_everywhere(self, store):
         with JobRegistry(store) as registry:

@@ -90,6 +90,37 @@ class TestHealthAndErrors:
         assert "400" in str(excinfo.value)
         assert harness.client().runs() == []  # nothing persisted
 
+    def test_blank_x_user_is_rejected_not_anonymous(self, harness_factory):
+        """A blank/whitespace X-User used to fall through ``... or
+        None`` and get billed to the shared "anonymous" bucket; it is
+        a misconfigured client and must be a 400 on every route."""
+        harness = harness_factory()
+        port = harness.port
+        body = json.dumps({"spec": tiny_spec().to_dict()}).encode("utf-8")
+        for method, path, payload in (
+            ("POST", "/api/runs", body),
+            ("GET", "/api/runs", None),
+        ):
+            headers = {"X-User": "   "}
+            if payload is not None:
+                headers["Content-Length"] = str(len(payload))
+            status, data = raw_request(port, method, path, payload, headers)
+            assert status == 400, (method, path)
+            assert "X-User" in data["error"]
+        assert harness.client().runs() == []  # nothing persisted
+
+    def test_padded_x_user_is_normalized(self, harness_factory):
+        harness = harness_factory()
+        body = json.dumps({"spec": tiny_spec().to_dict()}).encode("utf-8")
+        status, data = raw_request(
+            harness.port, "POST", "/api/runs", body,
+            {"X-User": "  alice  ", "Content-Length": str(len(body))},
+        )
+        assert status == 202
+        assert data["user"] == "alice"
+        record = harness.client().wait(data["run_id"])
+        assert record["user"] == "alice"
+
 
 class TestJourney:
     def test_submit_stream_and_results_match_direct_run(self, harness_factory):

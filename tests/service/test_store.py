@@ -55,6 +55,12 @@ class TestSchemaAndCreate:
         with pytest.raises(ServiceError, match="unknown run"):
             store.transition("nope", "running")
 
+    def test_blank_user_never_reaches_the_database(self, store):
+        for blank in ("", "   ", None):
+            with pytest.raises(ServiceError, match="blank"):
+                store.create("abc123", blank, SPEC)
+        assert store.list_runs() == []
+
     def test_spec_hash_is_content_addressed(self):
         assert spec_hash({"a": 1, "b": 2}) == spec_hash({"b": 2, "a": 1})
         assert spec_hash({"a": 1}) != spec_hash({"a": 2})
