@@ -1,0 +1,166 @@
+"""Analytic-engine benchmark: closed-form sweeps vs. the event kernel.
+
+DoKnowMe-style rule: performance claims need an explicit, repeatable
+measurement strategy.  This script is that strategy for the analytic
+batch engine — it measures
+
+* an uncontended 100-point message-size sweep (sendrecv, p4 on
+  sun-ethernet) through the event kernel and through
+  ``AnalyticEngine.compute_many`` (the acceptance bar is a >=20x
+  speedup; the equivalence suite separately proves the answers are
+  bit-identical), and
+* the curve-level cache's warm path: re-answering the same sweep from
+  cached curve points vs. evaluating it cold,
+
+and writes them to ``BENCH_analytic.json`` so
+``scripts/bench_report.py`` can diff any run against the committed
+baseline.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analytic.py [--quick] \
+        [--output BENCH_analytic.json] [--no-assert]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+
+from repro.analytic import AnalyticEngine
+from repro.core.jobs import MeasurementJob, execute_job
+
+#: The analytic engine must beat the event kernel by this much on the
+#: uncontended 100-point size sweep (whole-grid closed forms are the
+#: tentpole claim; anything less means the vectorization regressed to
+#: per-job work).
+REQUIRED_ANALYTIC_SPEEDUP = 20.0
+
+GRID_POINTS = 100
+
+
+def sweep_jobs():
+    """The benchmark grid: a 100-point uncontended size sweep."""
+    sizes = [i * 1_000 for i in range(GRID_POINTS)]
+    return [
+        MeasurementJob("sendrecv", "p4", "sun-ethernet", 2, (("nbytes", size),))
+        for size in sizes
+    ]
+
+
+def _best_of(repeats, func, *args):
+    """Minimum wall time over ``repeats`` runs (noise floor, not mean)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_grid(jobs, event_repeats, analytic_repeats):
+    """Event kernel vs. analytic engine over the whole sweep.
+
+    Each analytic repeat uses a fresh :class:`AnalyticEngine` (fresh
+    curve cache), so the timing prices a genuinely cold curve
+    evaluation — the memoized platform/tool model build is shared,
+    which is exactly the steady state a scheduler sees.
+    """
+
+    def run_event():
+        return [execute_job(job) for job in jobs]
+
+    def run_analytic():
+        engine = AnalyticEngine()
+        values = engine.compute_many(jobs)
+        return [values[job] for job in jobs]
+
+    event_wall, event_values = _best_of(event_repeats, run_event)
+    analytic_wall, analytic_values = _best_of(analytic_repeats, run_analytic)
+    if event_values != analytic_values:
+        raise AssertionError(
+            "analytic sweep diverged from the event kernel — the "
+            "equivalence suite (tests/analytic) should have caught this"
+        )
+    return {
+        "points": len(jobs),
+        "event_seconds": event_wall,
+        "analytic_seconds": analytic_wall,
+        "speedup": event_wall / analytic_wall,
+    }
+
+
+def bench_curve_cache(jobs, repeats):
+    """Cold curve evaluation vs. the warm (all-hits) curve-cache path."""
+    engine = AnalyticEngine()
+    cold_wall, _ = _best_of(1, engine.compute_many, jobs)
+
+    warm_wall, _ = _best_of(repeats, engine.compute_many, jobs)
+    stats = engine.curves.stats()
+    return {
+        "cold_pass_seconds": cold_wall,
+        "warm_pass_seconds": warm_wall,
+        "warm_speedup": cold_wall / warm_wall,
+        "curve_points": stats["points"],
+        "evaluations": stats["evaluations"],
+    }
+
+
+def run_benchmarks(quick=False):
+    event_repeats = 1 if quick else 3
+    analytic_repeats = 3 if quick else 5
+
+    jobs = sweep_jobs()
+    metrics = {
+        "analytic_grid": bench_grid(jobs, event_repeats, analytic_repeats),
+        "curve_cache": bench_curve_cache(jobs, analytic_repeats),
+    }
+    return {
+        "benchmark": "analytic",
+        "quick": bool(quick),
+        "python": sys.version.split()[0],
+        "machine": platform_mod.machine(),
+        "metrics": metrics,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (CI smoke)")
+    parser.add_argument("--output", default="BENCH_analytic.json",
+                        help="where to write the metrics "
+                             "(default ./BENCH_analytic.json)")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="record metrics without enforcing the >=%gx "
+                             "grid-speedup bar" % REQUIRED_ANALYTIC_SPEEDUP)
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick)
+    metrics = report["metrics"]
+
+    grid = metrics["analytic_grid"]
+    print("%d-point sweep (event):     %9.3f ms" % (grid["points"], grid["event_seconds"] * 1e3))
+    print("%d-point sweep (analytic):  %9.3f ms" % (grid["points"], grid["analytic_seconds"] * 1e3))
+    print("analytic grid speedup:      %9.1fx" % grid["speedup"])
+    cache = metrics["curve_cache"]
+    print("curve pass (cold/warm):     %9.3f / %.3f ms  (%.1fx)"
+          % (cache["cold_pass_seconds"] * 1e3,
+             cache["warm_pass_seconds"] * 1e3, cache["warm_speedup"]))
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    if not args.no_assert and grid["speedup"] < REQUIRED_ANALYTIC_SPEEDUP:
+        print("FAIL: analytic grid speedup %.1fx is below the required %.0fx"
+              % (grid["speedup"], REQUIRED_ANALYTIC_SPEEDUP))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,19 @@ def main(argv=None):
     with open(args.baseline) as handle:
         baseline = json.load(handle)
 
+    # The benchmark scripts stamp every report with the interpreter and
+    # machine that produced it.  A cross-environment diff still runs —
+    # ratio metrics survive the move — but raw wall-times do not
+    # compare meaningfully, so say so loudly (warn, never fail: CI
+    # refreshing a laptop-recorded baseline is the normal case).
+    for key, label in (("python", "python version"), ("machine", "machine")):
+        base_env, now_env = baseline.get(key), current.get(key)
+        if base_env and now_env and base_env != now_env:
+            print("warning: %s differs (baseline %s, current %s); "
+                  "wall-clock comparisons across environments are noisy "
+                  "— trust the ratio metrics, not the absolute times"
+                  % (label, base_env, now_env))
+
     rows = list(compare(current, baseline, args.tolerance))
     if not rows:
         print("no shared numeric metrics between %s and %s"

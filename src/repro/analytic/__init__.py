@@ -1,0 +1,35 @@
+"""Analytic batch engine: closed-form sweeps without the event kernel.
+
+The paper's evaluation grids are dominated by uncontended,
+deterministic timings whose answers have closed forms.  This package
+evaluates those jobs as vectorized timing models — numpy over the
+whole message-size axis at once — reproducing the event kernel's
+left-to-right float accumulation so the results are bit-identical,
+and falls back to the event kernel wherever contention or noise makes
+simulation necessary:
+
+* :mod:`repro.analytic.models` — the vectorized per-medium / per-tool
+  timeline models, derived from the same ``FrameFormat`` closed forms
+  the bulk fast path uses;
+* :mod:`repro.analytic.planner` — decides which jobs are
+  analytic-eligible (noise=0, uncontended traffic pattern, modeled
+  tool and medium) and partitions job streams;
+* :mod:`repro.analytic.curves` — the curve-level cache
+  ``(platform, tool, kind, processors) -> timing curve`` layered above
+  the job-level :class:`~repro.core.cache.ResultCache`;
+* :mod:`repro.analytic.engine` — the :class:`AnalyticEngine` the
+  scheduler consults when running with ``engine="analytic"`` or
+  ``engine="auto"``.
+"""
+
+from repro.analytic.curves import CurveCache
+from repro.analytic.engine import AnalyticEngine
+from repro.analytic.planner import is_eligible, partition, why_ineligible
+
+__all__ = [
+    "AnalyticEngine",
+    "CurveCache",
+    "is_eligible",
+    "partition",
+    "why_ineligible",
+]

@@ -1,0 +1,69 @@
+"""The analytic engine: batch evaluation of eligible jobs.
+
+Glue between the planner (eligibility), the models (vectorized
+timelines) and the curve cache: a batch of jobs is grouped by curve,
+each curve's missing size points are evaluated in one vectorized call,
+and every job is answered from its curve.  The scheduler talks to this
+class only; telemetry marks the results ``engine="analytic"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analytic import models, planner
+from repro.analytic.curves import CurveCache, curve_key
+from repro.core.jobs import MeasurementJob
+from repro.errors import EvaluationError
+
+__all__ = ["AnalyticEngine"]
+
+
+class AnalyticEngine(object):
+    """Answers analytic-eligible jobs from vectorized closed forms."""
+
+    def __init__(self, curves: Optional[CurveCache] = None) -> None:
+        self.curves = curves if curves is not None else CurveCache()
+
+    def __repr__(self) -> str:
+        return "<AnalyticEngine %r>" % (self.curves,)
+
+    def eligible(self, job: MeasurementJob) -> bool:
+        return planner.is_eligible(job)
+
+    def why_ineligible(self, job: MeasurementJob) -> Optional[str]:
+        return planner.why_ineligible(job)
+
+    def compute(self, job: MeasurementJob) -> Optional[float]:
+        """One job's sample (seconds, or None for "Not Available")."""
+        return self.compute_many([job])[job]
+
+    def compute_many(
+        self, jobs: Iterable[MeasurementJob]
+    ) -> Dict[MeasurementJob, Optional[float]]:
+        """Samples for a batch of eligible jobs, one model call per curve."""
+        jobs = list(jobs)
+        by_curve: Dict[tuple, List[int]] = {}
+        sizes: Dict[MeasurementJob, int] = {}
+        for job in jobs:
+            reason = planner.why_ineligible(job)
+            if reason is not None:
+                raise EvaluationError(
+                    "job %s is not analytic-eligible: %s" % (job.label(), reason)
+                )
+            size = job.params_dict()[planner.size_param(job.kind)]
+            sizes[job] = size
+            by_curve.setdefault(curve_key(job), []).append(size)
+        results: Dict[MeasurementJob, Optional[float]] = {}
+        points: Dict[tuple, Dict[int, Optional[float]]] = {}
+        for key, wanted in by_curve.items():
+            known, missing = self.curves.lookup(key, wanted)
+            if missing:
+                platform, tool, kind, processors = key
+                values = models.evaluate_curve(platform, tool, kind, processors, missing)
+                self.curves.extend(key, missing, values)
+                known.update(zip(missing, values))
+            points[key] = known
+        for job in jobs:
+            results[job] = points[curve_key(job)][sizes[job]]
+        return results

@@ -1,0 +1,549 @@
+"""Vectorized closed-form timeline models, bit-identical to the kernel.
+
+Each model replays the event kernel's timeline for one job kind as
+numpy arithmetic over the whole message-size axis at once.  The
+discipline that makes the results *bit-identical* rather than merely
+close: every float operation the kernel performs on the simulation
+clock is mirrored here as the same IEEE-754 double operation, in the
+same left-to-right order, starting from the same absolute time.
+Masked updates (``np.where(active, t + step, t)``) keep per-lane
+operation sequences exact when lanes need different numbers of frames,
+windows or fragments; joins between concurrent processes become
+``np.maximum``, which is valid precisely because the planner only
+admits *uncontended* traffic patterns — every rendezvous in an
+admitted job is a pure max of two known completion times, never a
+queueing delay.
+
+The models only cover what the planner admits (see
+:mod:`repro.analytic.planner`): deterministic (noise=0) runs whose
+wire, CPU and daemon activity never contends.  The equivalence suite
+in ``tests/analytic/`` asserts ``float(model) == execute_job(job)``
+bitwise across the admitted grid.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.hardware.catalog import build_platform
+from repro.hardware.specs import REFERENCE_SPEC
+
+# Single source of truth for the transports' wire constants: drift
+# between model and kernel would silently break bit-identity, so the
+# module-private values are imported rather than redeclared.
+from repro.net.transport import _ACK_BYTES as _TCP_ACK_BYTES
+from repro.tools.express import _ACK_BYTES as _EXPRESS_ACK_BYTES
+from repro.tools.registry import create_tool
+
+__all__ = ["AnalyticModel", "get_model", "evaluate_curve"]
+
+
+def _size_array(sizes: Sequence[int]) -> np.ndarray:
+    return np.asarray(list(sizes), dtype=np.int64)
+
+
+def _frame_count(n: np.ndarray, payload: int) -> np.ndarray:
+    """Vector :meth:`FrameFormat.frame_count` (min 1, ceiling division)."""
+    return np.where(n <= 0, 1, -(-n // payload))
+
+
+def _total_wire_bytes(n: np.ndarray, payload: int, overhead: int, min_wire: int) -> np.ndarray:
+    """Vector :meth:`FrameFormat.total_wire_bytes` (exact integer form)."""
+    frames = _frame_count(n, payload)
+    last_payload = np.where(n <= 0, 0, n - (frames - 1) * payload)
+    full_wire = max(payload + overhead, min_wire)
+    last_wire = np.maximum(last_payload + overhead, min_wire)
+    return np.where(n <= 0, max(overhead, min_wire), (frames - 1) * full_wire + last_wire)
+
+
+class _EthernetModel(object):
+    """Uncontended :meth:`Ethernet.transfer`: the coalesced frame path.
+
+    The kernel accumulates the hold target frame by frame from the
+    claim instant and schedules it absolutely (``timeout_until``), so
+    the model repeats the same per-frame additions per lane.
+    """
+
+    def __init__(self, net) -> None:
+        fmt = net.frame_format
+        self._payload = fmt.payload_bytes
+        self._overhead = fmt.overhead_bytes
+        self._min_wire = fmt.min_wire_bytes
+        self._rate = net.rate_bps
+        self._prop = net.propagation_seconds
+        self._full_seconds = net.frame_seconds(fmt.payload_bytes)
+
+    def transfer(self, t: np.ndarray, n: np.ndarray) -> np.ndarray:
+        frames = _frame_count(n, self._payload)
+        last_payload = np.where(n <= 0, 0, n - (frames - 1) * self._payload)
+        last_wire = np.maximum(last_payload + self._overhead, self._min_wire)
+        last_seconds = last_wire * 8.0 / self._rate
+        # One strictly-sequential accumulate replaces a Python-level
+        # per-frame loop.  Row 0 is the claim instant; each later row
+        # is that frame's hold (full frames, then the short last frame,
+        # then 0.0 padding past a lane's frame count).  ``accumulate``
+        # applies ``+`` left to right, reproducing the kernel's
+        # frame-by-frame float accumulation bit for bit — and the
+        # padding is exact, because ``x + 0.0 == x`` bitwise for the
+        # non-negative times on this clock.
+        t = np.asarray(t, dtype=np.float64)
+        total = int(frames.max())
+        shape = np.broadcast_shapes(t.shape, frames.shape)
+        index = np.arange(total).reshape((total,) + (1,) * len(shape))
+        steps = np.where(
+            index < frames - 1,
+            self._full_seconds,
+            np.where(index == frames - 1, last_seconds, 0.0),
+        )
+        rows = np.empty((total + 1,) + shape, dtype=np.float64)
+        rows[0] = t
+        rows[1:] = steps
+        target = np.add.accumulate(rows, axis=0)[-1]
+        return target + self._prop
+
+
+class _FddiModel(object):
+    """Uncontended :meth:`FddiRing.transfer`: token wait, stream, hop."""
+
+    def __init__(self, net) -> None:
+        fmt = net.frame_format
+        self._payload = fmt.payload_bytes
+        self._overhead = fmt.overhead_bytes
+        self._min_wire = fmt.min_wire_bytes
+        self._rate = net.rate_bps
+        self._token = net.token_latency_seconds
+        self._prop = net.propagation_seconds
+
+    def transfer(self, t: np.ndarray, n: np.ndarray) -> np.ndarray:
+        busy = _total_wire_bytes(n, self._payload, self._overhead, self._min_wire) * 8.0 / self._rate
+        t = t + self._token
+        t = t + busy
+        return t + self._prop
+
+
+class _AtmModel(object):
+    """Uncontended :meth:`AtmLan.transfer` (LAN and WAN constants)."""
+
+    _CELL_BYTES = 53
+    _CELL_PAYLOAD = 48
+    _AAL5_TRAILER = 8
+
+    def __init__(self, net) -> None:
+        self._line_rate = net.line_rate_bps
+        self._tail = net.switch_latency_seconds + net.propagation_seconds
+
+    def transfer(self, t: np.ndarray, n: np.ndarray) -> np.ndarray:
+        total = np.maximum(n, 0) + self._AAL5_TRAILER
+        cells = (total + self._CELL_PAYLOAD - 1) // self._CELL_PAYLOAD
+        stream = cells * self._CELL_BYTES * 8.0 / self._line_rate
+        t = t + stream
+        return t + self._tail
+
+
+class _AllnodeModel(object):
+    """Uncontended :meth:`AllnodeSwitch.transfer`."""
+
+    def __init__(self, net) -> None:
+        fmt = net.frame_format
+        self._payload = fmt.payload_bytes
+        self._overhead = fmt.overhead_bytes
+        self._min_wire = fmt.min_wire_bytes
+        self._rate = net.rate_bps
+        self._tail = net.switch_latency_seconds + net.propagation_seconds
+
+    def transfer(self, t: np.ndarray, n: np.ndarray) -> np.ndarray:
+        stream = _total_wire_bytes(n, self._payload, self._overhead, self._min_wire) * 8.0 / self._rate
+        t = t + stream
+        return t + self._tail
+
+
+_MEDIUM_MODELS = {
+    "ethernet": _EthernetModel,
+    "fddi": _FddiModel,
+    "atm-lan": _AtmModel,
+    "atm-wan": _AtmModel,
+    "allnode": _AllnodeModel,
+}
+
+
+def _binomial_children(relative: int, size: int) -> List[int]:
+    """Children of ``relative`` in the collectives' binomial tree."""
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            break
+        mask <<= 1
+    mask >>= 1
+    children = []
+    while mask > 0:
+        if relative + mask < size:
+            children.append(relative + mask)
+        mask >>= 1
+    return children
+
+
+class AnalyticModel(object):
+    """Closed-form timelines for one ``(platform, tool, processors)``.
+
+    A throwaway platform/tool pair is built once to read the calibrated
+    constants (network rates, profile costs, node speeds); after that
+    every evaluation is pure numpy.
+    """
+
+    def __init__(self, platform_name: str, tool_name: str, processors: int) -> None:
+        platform = build_platform(platform_name, processors=processors, seed=0)
+        tool = create_tool(tool_name, platform)
+        net = platform.network
+        try:
+            medium_model = _MEDIUM_MODELS[net.kind]
+        except KeyError:
+            raise EvaluationError("no analytic wire model for %r medium" % net.kind)
+        self.platform_name = platform_name
+        self.tool_name = tool_name
+        self.processors = int(processors)
+        self.network_kind = net.kind
+        self.profile = tool.profile
+        self._medium = medium_model(net)
+        spec = platform.node_spec
+        self._mips = spec.mips
+        self._quantum = platform.node(0).quantum_seconds
+        self._software_factor = REFERENCE_SPEC.mips / spec.mips
+        self._send_fixed = self.profile.send_fixed + net.host_fixed_seconds
+        self._send_per_byte = self.profile.pack_per_byte + net.host_per_byte_seconds
+        self._recv_fixed = self.profile.recv_fixed + net.host_fixed_seconds
+        self._recv_per_byte = self.profile.unpack_per_byte + net.host_per_byte_seconds
+
+    def __repr__(self) -> str:
+        return "<AnalyticModel %s@%s/%d>" % (
+            self.tool_name, self.platform_name, self.processors,
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel building blocks
+    # ------------------------------------------------------------------
+
+    def _send_cost(self, n: np.ndarray) -> np.ndarray:
+        """:meth:`ToolRuntime.send_side_cost` (reference seconds)."""
+        return self._send_fixed + self._send_per_byte * n
+
+    def _recv_cost(self, n: np.ndarray) -> np.ndarray:
+        """:meth:`ToolRuntime.recv_side_cost` (reference seconds)."""
+        return self._recv_fixed + self._recv_per_byte * n
+
+    def _cpu(self, t: np.ndarray, seconds) -> np.ndarray:
+        """:meth:`Node.use_cpu` on an idle CPU: the exact quantum loop."""
+        t = np.array(t, dtype=np.float64)
+        remaining = np.empty_like(t)
+        remaining[...] = seconds
+        while True:
+            running = remaining > 0.0
+            if not running.any():
+                break
+            timeslice = np.minimum(remaining, self._quantum)
+            t = np.where(running, t + timeslice, t)
+            remaining = np.where(running, remaining - timeslice, remaining)
+        return t
+
+    def _software(self, t: np.ndarray, reference_seconds) -> np.ndarray:
+        """:meth:`ToolRuntime.software`: reference-scaled CPU time."""
+        return self._cpu(t, np.asarray(reference_seconds) * self._software_factor)
+
+    def _tcp_transfer(self, t: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """:meth:`TcpTransport.transfer`: windows with per-window acks."""
+        window = self.profile.tcp_window_bytes
+        ack_turnaround = self.profile.ack_turnaround
+        empty = n <= 0
+        out = np.array(t, dtype=np.float64)
+        t_empty = self._medium.transfer(out, np.zeros_like(n)) if empty.any() else None
+        remaining = np.where(empty, 0, n)
+        while True:
+            active = remaining > 0
+            if not active.any():
+                break
+            chunk = np.minimum(remaining, window)
+            out = np.where(active, self._medium.transfer(out, chunk), out)
+            remaining = np.where(active, remaining - chunk, remaining)
+            more = remaining > 0
+            if more.any():
+                out = np.where(more, out + ack_turnaround, out)
+                out = np.where(
+                    more,
+                    self._medium.transfer(out, np.full_like(n, _TCP_ACK_BYTES)),
+                    out,
+                )
+        if t_empty is not None:
+            out = np.where(empty, t_empty, out)
+        return out
+
+    def _express_send(self, t: np.ndarray, n: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`ExpressTool.send_path`.
+
+        Returns ``(sender_done, delivered)``: when the sender's final
+        ack lands, and when the last data fragment reached the
+        receiver's mailbox.  The per-fragment handshake is charged on
+        the *receiver's* CPU, which is idle for every admitted pattern
+        (the receiver is blocked in its mailbox get).
+        """
+        profile = self.profile
+        t = np.array(t, dtype=np.float64)
+        remaining = np.maximum(n, 0)
+        delivered = np.zeros_like(t)
+        pending = np.ones(t.shape, dtype=bool)
+        first = True
+        while first or pending.any():
+            first = False
+            fragment = np.minimum(remaining, profile.fragment_bytes)
+            t = np.where(pending, self._medium.transfer(t, fragment), t)
+            remaining = np.where(pending, remaining - fragment, remaining)
+            final = pending & (remaining == 0)
+            delivered = np.where(final, t, delivered)
+            t = np.where(pending, self._software(t, profile.handshake_seconds), t)
+            t = np.where(
+                pending,
+                self._medium.transfer(t, np.full_like(n, _EXPRESS_ACK_BYTES)),
+                t,
+            )
+            pending = pending & ~final
+        return t, delivered
+
+    def _ipc_cost(self, n: np.ndarray) -> np.ndarray:
+        """PVM's process<->daemon IPC hand-off cost (reference seconds)."""
+        return self.profile.daemon_ipc_fixed + self.profile.daemon_ipc_per_byte * n
+
+    def _daemon_hop(self, t: np.ndarray, n: np.ndarray) -> np.ndarray:
+        """:meth:`PvmTool._daemon_hop`: the three-stage store-and-forward.
+
+        The pipeline recurrence per fragment ``i``::
+
+            copy_done_i  = cpu(copy_done_{i-1}, copy_cost_i)     # src daemon
+            wire_start_i = max(copy_done_i, wire_done_{i-1})
+            wire_done_i  = transfer(wire_start_i) [+ ack stall if not last]
+            drain_done_i = cpu(max(wire_done_i, drain_done_{i-1}), copy_cost_i)
+
+        The hop completes when the destination daemon drains the last
+        fragment (the other stages always finish no later).  The
+        congestion retransmit branch never fires for admitted jobs:
+        it requires another transmitter queued on the source's medium.
+        """
+        profile = self.profile
+        remaining = np.maximum(n, 0)
+        count = _frame_count(n, profile.daemon_fragment_bytes)
+        copy_done = np.array(t, dtype=np.float64)
+        wire_done = np.full(t.shape, -np.inf)
+        drain_done = np.full(t.shape, -np.inf)
+        for index in range(int(count.max())):
+            active = index < count
+            fragment = np.minimum(remaining, profile.daemon_fragment_bytes)
+            copy_cost = profile.daemon_copy_per_byte * fragment
+            copy_done = np.where(active, self._software(copy_done, copy_cost), copy_done)
+            wire_end = self._medium.transfer(np.maximum(copy_done, wire_done), fragment)
+            last = index == count - 1
+            wire_done = np.where(
+                active,
+                np.where(last, wire_end, wire_end + profile.daemon_ack_stall),
+                wire_done,
+            )
+            drain_start = np.maximum(wire_done, drain_done)
+            drain_done = np.where(active, self._software(drain_start, copy_cost), drain_done)
+            remaining = np.where(active, remaining - fragment, remaining)
+        return drain_done
+
+    # ------------------------------------------------------------------
+    # Job-kind timelines
+    # ------------------------------------------------------------------
+
+    def sendrecv(self, sizes: Sequence[int]) -> np.ndarray:
+        """Rank 0's ping-pong round trip (``measure_sendrecv``)."""
+        n = _size_array(sizes)
+        t = np.zeros(n.shape, dtype=np.float64)
+        transport = self.profile.transport
+        if transport == "tcp":
+            for _leg in range(2):
+                t = self._software(t, self._send_cost(n))
+                t = self._tcp_transfer(t, n)
+                t = self._software(t, self._recv_cost(n))
+            return t
+        if transport == "stop-and-wait":
+            for _leg in range(2):
+                t = self._software(t, self._send_cost(n))
+                _, delivered = self._express_send(t, n)
+                # The sender's process claims the receiver's CPU for the
+                # final handshake before the unblocked receiver can post
+                # its recv software, so the recv queues behind it.
+                t = self._software(delivered, self.profile.handshake_seconds)
+                t = self._software(t, self._recv_cost(n))
+            return t
+        if transport == "daemon":
+            for _leg in range(2):
+                t = self._software(t, self._send_cost(n))
+                t = self._software(t, self._ipc_cost(n))
+                t = self._daemon_hop(t, n)
+                t = self._software(t, self._ipc_cost(n))
+                t = self._software(t, self._recv_cost(n))
+            return t
+        raise EvaluationError("no analytic sendrecv model for %r transport" % transport)
+
+    def broadcast(self, sizes: Sequence[int]) -> np.ndarray:
+        """Completion time of a root-0 broadcast (``measure_broadcast``)."""
+        n = _size_array(sizes)
+        zeros = np.zeros(n.shape, dtype=np.float64)
+        size = self.processors
+        algorithm = self.profile.broadcast_algorithm
+        if algorithm == "binomial":
+            ends = self._binomial_broadcast_ends(n, {0: zeros})
+            return self._fold_max(ends)
+        if algorithm == "sequential":
+            t = zeros
+            ends = []
+            for _dst in range(1, size):
+                t = self._software(t, self._send_cost(n))
+                t, delivered = self._express_send(t, n)
+                done = self._software(delivered, self.profile.handshake_seconds)
+                ends.append(self._software(done, self._recv_cost(n)))
+            ends.append(t)
+            return self._fold_max(ends)
+        if algorithm == "daemon-sequential":
+            t = self._software(zeros, self._send_cost(n))
+            t = self._software(t, self._ipc_cost(n))
+            ends = [t]
+            for _dst in range(1, size):
+                t = self._daemon_hop(t, n)
+                t = self._software(t, self._ipc_cost(n))
+                ends.append(self._software(t, self._recv_cost(n)))
+            return self._fold_max(ends)
+        raise EvaluationError("no analytic broadcast model for %r" % algorithm)
+
+    def global_sum(self, sizes: Sequence[int]) -> Optional[np.ndarray]:
+        """Completion time of a global vector sum (``measure_global_sum``).
+
+        ``None`` when the tool has no reduction (PVM's Table 1 entry) —
+        the same "Not Available" marker the kernel produces.
+        """
+        if not self.profile.supports_reduce:
+            return None
+        vector_ints = _size_array(sizes)
+        n = 4 * vector_ints  # np.ones(V, int32).nbytes
+        zeros = np.zeros(n.shape, dtype=np.float64)
+        size = self.processors
+        # _combine's Work(int_ops=V) runs unscaled on the live node.
+        combine_seconds = vector_ints.astype(np.float64) / (self._mips * 1e6)
+        if self.profile.reduce_algorithm == "binomial":
+            # Reduce phase, ranks descending so every receive's delivery
+            # time is already known.
+            deliveries: Dict[Tuple[int, int], np.ndarray] = {}
+            enter: Dict[int, np.ndarray] = {}
+            for rank in range(size - 1, -1, -1):
+                t = zeros
+                mask = 1
+                while mask < size:
+                    if rank & mask:
+                        t = self._software(t, self._send_cost(n))
+                        t = self._tcp_transfer(t, n)
+                        deliveries[(rank - mask, rank)] = t
+                        break
+                    partner = rank | mask
+                    if partner < size:
+                        arrival = deliveries[(rank, partner)]
+                        t = self._software(np.maximum(t, arrival), self._recv_cost(n))
+                        t = self._cpu(t, combine_seconds)
+                    mask <<= 1
+                enter[rank] = t
+            ends = self._binomial_broadcast_ends(n, {0: enter[0]}, enter=enter)
+            return self._fold_max(ends)
+        # Linear reduce (Express): admitted for size <= 2 only, where the
+        # lone sender keeps wire and root CPU uncontended.
+        if size == 1:
+            return zeros
+        t = self._software(zeros, self._send_cost(n))
+        t, delivered = self._express_send(t, n)
+        root = self._software(delivered, self.profile.handshake_seconds)
+        root = self._software(root, self._recv_cost(n))
+        root = self._cpu(root, combine_seconds)
+        root = self._software(root, self._send_cost(n))
+        root_end, delivered = self._express_send(root, n)
+        leaf_end = self._software(delivered, self.profile.handshake_seconds)
+        leaf_end = self._software(leaf_end, self._recv_cost(n))
+        return np.maximum(root_end, leaf_end)
+
+    def _binomial_broadcast_ends(
+        self,
+        n: np.ndarray,
+        ready: Dict[int, np.ndarray],
+        enter: Optional[Dict[int, np.ndarray]] = None,
+    ) -> List[np.ndarray]:
+        """Per-rank completion times of a root-0 binomial broadcast.
+
+        ``ready[0]`` is the root's start; ``enter`` (for the reduce's
+        broadcast phase) is when each rank posts its receive — a message
+        arriving earlier waits in the mailbox, so the recv software
+        starts at ``max(delivery, enter[rank])``.
+        """
+        size = self.processors
+        ends = []
+        for rank in range(size):
+            t = ready[rank]
+            for child in _binomial_children(rank, size):
+                t = self._software(t, self._send_cost(n))
+                t = self._tcp_transfer(t, n)
+                arrival = t if enter is None else np.maximum(t, enter[child])
+                ready[child] = self._software(arrival, self._recv_cost(n))
+            ends.append(t)
+        return ends
+
+    @staticmethod
+    def _fold_max(ends: List[np.ndarray]) -> np.ndarray:
+        result = ends[0]
+        for t in ends[1:]:
+            result = np.maximum(result, t)
+        return result
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def curve(self, kind: str, sizes: Sequence[int]) -> List[Optional[float]]:
+        """Evaluate one timing curve; a list aligned with ``sizes``.
+
+        Values are Python floats carrying the exact float64 bits the
+        event kernel would produce (or ``None`` for "Not Available").
+        """
+        sizes = list(sizes)
+        if not sizes:
+            return []
+        if kind == "sendrecv":
+            values = self.sendrecv(sizes)
+        elif kind == "broadcast":
+            values = self.broadcast(sizes)
+        elif kind == "global_sum":
+            values = self.global_sum(sizes)
+            if values is None:
+                return [None] * len(sizes)
+        else:
+            raise EvaluationError("no analytic model for job kind %r" % kind)
+        return [float(value) for value in values]
+
+
+_MODEL_CACHE: Dict[Tuple[str, str, int], AnalyticModel] = {}
+_MODEL_LOCK = threading.Lock()
+
+
+def get_model(platform: str, tool: str, processors: int) -> AnalyticModel:
+    """The (memoized) model for one platform/tool/processors binding."""
+    key = (platform, tool, int(processors))
+    with _MODEL_LOCK:
+        model = _MODEL_CACHE.get(key)
+        if model is None:
+            model = AnalyticModel(platform, tool, int(processors))
+            _MODEL_CACHE[key] = model
+        return model
+
+
+def evaluate_curve(
+    platform: str, tool: str, kind: str, processors: int, sizes: Sequence[int]
+) -> List[Optional[float]]:
+    """Vectorized samples for ``sizes`` on one configuration curve."""
+    return get_model(platform, tool, processors).curve(kind, sizes)

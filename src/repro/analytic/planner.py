@@ -1,0 +1,142 @@
+"""Eligibility rules: which jobs the analytic engine may answer.
+
+A job is analytic-eligible only when its event-kernel run is provably
+uncontended and deterministic, so the closed-form timeline in
+:mod:`repro.analytic.models` is *exact*, not approximate:
+
+* ``noise`` must be 0 — any positive amplitude attaches the medium's
+  seeded stochastic model, and stochastic draws have no closed form;
+* the kind must have a model (``sendrecv``, ``broadcast``,
+  ``global_sum``); ``ring`` is contended by construction (every rank
+  transmits at once) and ``application`` runs arbitrary programs;
+* the traffic pattern must be uncontended on the job's medium.  On
+  switched fabrics (ATM, the Allnode crossbar) concurrent binomial-tree
+  transfers always use disjoint port pairs, so any processor count is
+  admitted.  On shared media (Ethernet's segment, FDDI's token) two
+  concurrent transfers *do* contend, so tree collectives are admitted
+  only up to 2 ranks, where no two transfers ever overlap.  Express and
+  PVM collectives serialize every transfer through one process chain
+  (root loop / daemon walk), so they are uncontended at any size.
+
+Anything ineligible — including malformed jobs whose real error the
+event kernel should surface — routes to the event kernel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.jobs import MeasurementJob
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import build_platform
+
+__all__ = ["is_eligible", "why_ineligible", "partition", "size_param"]
+
+#: Media whose fabric gives every host a dedicated port pair.
+_SWITCHED_KINDS = frozenset({"atm-lan", "atm-wan", "allnode"})
+
+#: Media where any two concurrent transfers contend.
+_SHARED_KINDS = frozenset({"ethernet", "fddi"})
+
+#: The single size-axis parameter each modeled kind sweeps.
+_SIZE_PARAMS = {"sendrecv": "nbytes", "broadcast": "nbytes", "global_sum": "vector_ints"}
+
+#: Tools with closed-form timeline models.
+_MODELED_TOOLS = frozenset({"express", "p4", "pvm", "mpi"})
+
+#: Sizes above this fall back: the per-frame float accumulation that
+#: bit-identity requires would cost as much as the kernel's own loop.
+_MAX_SIZE = 1 << 24
+
+_platform_cache: Dict[Tuple[str, int], Optional[str]] = {}
+_platform_lock = threading.Lock()
+
+
+def _network_kind(platform: str, processors: int) -> Optional[str]:
+    """The platform's medium kind, or None if it cannot be built."""
+    key = (platform, processors)
+    with _platform_lock:
+        if key in _platform_cache:
+            return _platform_cache[key]
+    try:
+        kind = build_platform(platform, processors=processors, seed=0).network.kind
+    except ConfigurationError:
+        kind = None
+    with _platform_lock:
+        _platform_cache[key] = kind
+    return kind
+
+
+def size_param(kind: str) -> Optional[str]:
+    """The size-axis parameter name for a modeled kind, else None."""
+    return _SIZE_PARAMS.get(kind)
+
+
+def why_ineligible(job: MeasurementJob) -> Optional[str]:
+    """Why ``job`` must run on the event kernel; None when eligible."""
+    if job.noise:
+        return "noise=%g attaches the medium's stochastic model" % job.noise
+    param = _SIZE_PARAMS.get(job.kind)
+    if param is None:
+        if job.kind == "ring":
+            return "ring traffic is contended by construction (every rank transmits at once)"
+        return "no closed-form model for %r jobs" % job.kind
+    if job.tool not in _MODELED_TOOLS:
+        return "no closed-form model for tool %r" % job.tool
+    params = job.params_dict()
+    if set(params) != {param}:
+        return "unexpected parameters %r for %r" % (sorted(params), job.kind)
+    size = params[param]
+    if isinstance(size, bool) or not isinstance(size, int):
+        return "%s=%r is not an integer size" % (param, size)
+    if size < 0:
+        return "%s=%d must surface the kernel's negative-size error" % (param, size)
+    if size > _MAX_SIZE:
+        return "%s=%d exceeds the analytic size ceiling (%d)" % (param, size, _MAX_SIZE)
+    kind = _network_kind(job.platform, job.processors)
+    if kind is None:
+        return "platform %r with %d processors does not build" % (job.platform, job.processors)
+    if job.kind == "sendrecv":
+        if job.processors < 2:
+            return "sendrecv launches 2 ranks; %d processors must raise" % job.processors
+        return None
+    if job.kind == "broadcast":
+        if job.tool in ("express", "pvm"):
+            return None  # one sequential process chain at any size
+        return _binomial_rule(job, kind)
+    # global_sum
+    if job.tool == "pvm":
+        return None  # no reduction primitive: "Not Available" at any size
+    if job.tool == "express":
+        if job.processors <= 2:
+            return None  # a lone sender keeps wire and root CPU idle
+        return "linear reduce aims %d senders at the root concurrently" % (job.processors - 1)
+    # Binomial reduce: only a full (power-of-two) tree serializes each
+    # parent's in-port — at other sizes boundary ranks skip receive
+    # waves and send early, colliding with a sibling's transfer.
+    if job.processors & (job.processors - 1):
+        return "binomial reduce with %d ranks sends two siblings at once" % job.processors
+    return _binomial_rule(job, kind)
+
+
+def _binomial_rule(job: MeasurementJob, kind: str) -> Optional[str]:
+    if kind in _SWITCHED_KINDS:
+        return None  # binomial waves use disjoint port pairs
+    if job.processors <= 2:
+        return None  # at most one transfer at a time
+    return "binomial %s on shared %s contends beyond 2 ranks" % (job.kind, kind)
+
+
+def is_eligible(job: MeasurementJob) -> bool:
+    """Whether the analytic engine reproduces ``job`` bit-identically."""
+    return why_ineligible(job) is None
+
+
+def partition(jobs: Iterable[MeasurementJob]) -> Tuple[List[MeasurementJob], List[MeasurementJob]]:
+    """Split a job stream into (analytic, event) lists, order preserved."""
+    analytic: List[MeasurementJob] = []
+    event: List[MeasurementJob] = []
+    for job in jobs:
+        (analytic if is_eligible(job) else event).append(job)
+    return analytic, event

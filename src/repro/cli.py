@@ -85,6 +85,20 @@ simulated variance:
         --profile balanced end-user --seeds 0 1 2 --noise \\
         --cache-dir .repro-cache --jobs 4 --stats --json sweep.json
 
+analytic engine:
+  --engine picks how cache misses are answered.  event (default)
+  simulates every job on the discrete-event kernel.  analytic
+  evaluates whole (platform, tool, size) sub-grids as vectorized
+  closed-form timing curves — bit-identical to the kernel on every
+  job it admits (noise-free, uncontended traffic patterns) and
+  orders of magnitude faster — and errors on jobs it cannot admit.
+  auto is the practical mode: eligible jobs are computed
+  analytically, everything else (noise, ring traffic, contended
+  collectives, application kernels) falls back to the event kernel.
+  A curve-level cache above the job-level cache makes re-sweeps of
+  the same configurations (fresh seeds included) near-free; per-job
+  telemetry in --json marks each sample's engine.
+
 streaming execution:
   Sweeps run through the streaming scheduler (Scheduler.start ->
   RunHandle).  --progress narrates the run live on stderr —
@@ -142,6 +156,14 @@ distributed execution:
                                "'auto' = one per CPU); the pool starts once "
                                "and is reused across every scheduler pass "
                                "of the run")
+    evaluate.add_argument("--engine",
+                          choices=("event", "analytic", "auto"),
+                          default="event",
+                          help="how cache misses are answered: event "
+                               "simulates every job; analytic computes "
+                               "closed-form curves (bit-identical, errors "
+                               "on ineligible jobs); auto computes where "
+                               "eligible and simulates the rest")
     evaluate.add_argument("--backend",
                           choices=("serial", "process", "async", "remote"),
                           default=None,
@@ -396,6 +418,7 @@ def _cmd_evaluate(args) -> int:
                                      queue_dir=args.queue),
             cache_dir=args.cache_dir,
             shards=args.shards,
+            engine=args.engine,
         ) as scheduler:
             if args.progress:
                 result_set = _run_with_progress(scheduler, spec)
@@ -425,6 +448,15 @@ def _cmd_evaluate(args) -> int:
         print("cache %s: %d simulated, %d served from %s"
               % (args.cache_dir, scheduler.simulations_run,
                  scheduler.cache.hits, scheduler.cache.backend.name))
+    if scheduler.analytic is not None:
+        computed = sum(1 for record in scheduler.telemetry.values()
+                       if record.engine == "analytic" and not record.cache_hit)
+        curve = scheduler.analytic.curves.stats()
+        print("analytic engine: %d job(s) computed closed-form over %d "
+              "curve(s) (%d point hit(s), %d vectorized evaluation(s)); "
+              "%d simulated on the event kernel"
+              % (computed, curve["curves"], curve["hits"],
+                 curve["evaluations"], scheduler.simulations_run - computed))
     if args.json:
         try:
             result_set.to_json(args.json)

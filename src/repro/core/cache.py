@@ -231,6 +231,21 @@ class CacheBackend(object):
     def get(self, key: str):
         raise NotImplementedError
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Optional[float]]:
+        """Present entries for ``keys`` as a dict (absent keys are
+        simply missing from it — never :data:`MISSING` values).
+
+        The base implementation is a per-key :meth:`get` loop; backends
+        with a cheaper bulk path (one lock acquisition, one directory
+        listing) override it.
+        """
+        results: Dict[str, Optional[float]] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not MISSING:
+                results[key] = value
+        return results
+
     def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
         raise NotImplementedError
 
@@ -261,6 +276,12 @@ class MemoryBackend(CacheBackend):
     def get(self, key: str):
         with self._lock:
             return self._store.get(key, MISSING)
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Optional[float]]:
+        """Bulk probe under a single lock acquisition."""
+        with self._lock:
+            store = self._store
+            return {key: store[key] for key in keys if key in store}
 
     def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
         with self._lock:
@@ -347,6 +368,46 @@ class DiskBackend(CacheBackend):
         with self._lock:
             self._memo[key] = value
         return value
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Optional[float]]:
+        """Bulk probe: one ``listdir`` per fanout bucket.
+
+        A cold sweep probing N absent keys one at a time pays N failed
+        ``open`` calls; listing each touched bucket once and reading
+        only the files actually present turns that into one syscall
+        per *bucket*.  Memoized keys never reach the filesystem at
+        all.
+        """
+        results: Dict[str, Optional[float]] = {}
+        pending: List[str] = []
+        with self._lock:
+            memo = self._memo
+            for key in keys:
+                if key in memo:
+                    results[key] = memo[key]
+                else:
+                    pending.append(key)
+        if not pending:
+            return results
+        by_bucket: Dict[str, List[str]] = {}
+        for key in pending:
+            by_bucket.setdefault(key[:2], []).append(key)
+        found: Dict[str, Optional[float]] = {}
+        for bucket, bucket_keys in by_bucket.items():
+            try:
+                names = set(os.listdir(os.path.join(self.root, bucket)))
+            except OSError:
+                continue  # bucket directory absent: all misses
+            for key in bucket_keys:
+                if key + ".json" in names:
+                    entry = self._read_entry(self._path(key))
+                    if entry is not None:
+                        found[key] = entry["seconds"]
+        if found:
+            with self._lock:
+                self._memo.update(found)
+            results.update(found)
+        return results
 
     def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
         entry = {
@@ -507,6 +568,16 @@ class ShardedBackend(CacheBackend):
     def get(self, key: str):
         return self.shard_for(key).get(key)
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Optional[float]]:
+        """Bulk probe: group keys by shard, one child probe each."""
+        by_shard: Dict[int, List[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_index(key), []).append(key)
+        results: Dict[str, Optional[float]] = {}
+        for index, shard_keys in by_shard.items():
+            results.update(self.backends[index].get_many(shard_keys))
+        return results
+
     def put(self, key: str, value: Optional[float], job: Optional[MeasurementJob] = None) -> None:
         self.shard_for(key).put(key, value, job)
 
@@ -589,6 +660,44 @@ class ResultCache(object):
             else:
                 self.hits += 1
             return value
+
+    def get_many(self, jobs) -> Dict[MeasurementJob, Optional[float]]:
+        """Bulk :meth:`lookup`: cached samples for ``jobs`` as a dict.
+
+        Jobs with no entry are simply absent from the result (never
+        mapped to :data:`MISSING` — a cached ``None`` sample is "Not
+        Available", so presence must be the membership test).  One
+        lock acquisition covers key memoization, the backend's bulk
+        probe (one directory listing per touched bucket on disk) and
+        the counters; each *unique* job counts exactly one hit or
+        miss, matching what a deduplicating per-job ``lookup`` loop
+        would have recorded.
+        """
+        with self._lock:
+            keys: Dict[MeasurementJob, str] = {}
+            for job in jobs:
+                if job not in keys:
+                    key = self._keys.get(job)
+                    if key is None:
+                        key = self._keys[job] = job_key(job)
+                    keys[job] = key
+            bulk = getattr(self.backend, "get_many", None)
+            if bulk is not None:
+                found = bulk(list(keys.values()))
+            else:  # duck-typed backend predating the bulk protocol
+                found = {}
+                for key in keys.values():
+                    value = self.backend.get(key)
+                    if value is not MISSING:
+                        found[key] = value
+            results: Dict[MeasurementJob, Optional[float]] = {}
+            for job, key in keys.items():
+                if key in found:
+                    results[job] = found[key]
+                    self.hits += 1
+                else:
+                    self.misses += 1
+            return results
 
     def store(self, job: MeasurementJob, value: Optional[float]) -> None:
         with self._lock:

@@ -88,12 +88,19 @@ class CacheHit(RunEvent):
 
 @dataclass(frozen=True)
 class JobFinished(RunEvent):
-    """A dispatched job's simulation completed (and was persisted)."""
+    """A dispatched job's outcome landed (and was persisted).
+
+    ``engine`` records *how* the sample was produced: ``"event"`` for
+    a discrete-event simulation, ``"analytic"`` for a closed-form
+    evaluation by :class:`~repro.analytic.AnalyticEngine`.  Pre-engine
+    event dicts deserialize with the ``"event"`` default.
+    """
 
     job: MeasurementJob
     value: Optional[float]
     wall_seconds: Optional[float]
     attempts: int
+    engine: str = "event"
 
     type = "job_finished"
 
@@ -104,6 +111,7 @@ class JobFinished(RunEvent):
             "value": self.value,
             "wall_seconds": self.wall_seconds,
             "attempts": self.attempts,
+            "engine": self.engine,
         }
 
 

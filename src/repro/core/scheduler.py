@@ -13,7 +13,10 @@ loop).  Finished samples land in a
 :class:`~repro.core.cache.ResultCache` keyed by the job's content
 address — pass ``cache_dir=`` for a persistent on-disk cache a killed
 (or cancelled) sweep resumes from, and ``shards=`` to spread it over
-N sub-stores.
+N sub-stores.  ``engine="analytic"`` / ``engine="auto"`` answer
+eligible misses from the vectorized closed-form models in
+:mod:`repro.analytic` instead of simulating them (bit-identical where
+admitted; ``auto`` falls back to the event kernel elsewhere).
 
 Execution itself is a *streaming* API.  :meth:`Scheduler.start`
 returns a :class:`RunHandle` — the run executes in a background
@@ -41,6 +44,7 @@ provenance alongside samples.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -98,7 +102,10 @@ class JobTelemetry:
 
     ``wall_seconds`` is ``None`` when the executor could not report
     per-job timing (a custom executor without ``submit``); cache hits
-    record ``0.0`` — the sample cost nothing this pass.
+    record ``0.0`` — the sample cost nothing this pass.  ``engine``
+    records how the sample was produced — ``"event"`` for a
+    discrete-event simulation, ``"analytic"`` for a closed-form
+    evaluation — so exports distinguish computed from simulated.
     """
 
     job: MeasurementJob
@@ -106,6 +113,7 @@ class JobTelemetry:
     cache_hit: bool
     wall_seconds: Optional[float]
     attempts: int
+    engine: str = "event"
 
     def to_dict(self) -> dict:
         return {
@@ -113,6 +121,7 @@ class JobTelemetry:
             "cache_hit": self.cache_hit,
             "wall_seconds": self.wall_seconds,
             "attempts": self.attempts,
+            "engine": self.engine,
         }
 
 
@@ -213,9 +222,13 @@ class RunHandle(object):
             self._cond.notify_all()
         self._notify(event)
 
-    def _job_finished(self, job: MeasurementJob, outcome: JobOutcome) -> None:
+    def _job_finished(
+        self, job: MeasurementJob, outcome: JobOutcome, engine: str = "event"
+    ) -> None:
         with self._cond:
-            event = JobFinished(job, outcome.value, outcome.wall_seconds, outcome.attempts)
+            event = JobFinished(
+                job, outcome.value, outcome.wall_seconds, outcome.attempts, engine
+            )
             self._simulated += 1
             self._values[job] = outcome.value
             self._append(event)
@@ -400,11 +413,30 @@ class Scheduler(object):
     retries:
         Attempts per job before an unexpected simulation failure
         propagates (1 = no retry).
+    engine:
+        How cache misses are answered: ``"event"`` (default) runs
+        every miss as a discrete-event simulation on the executor;
+        ``"analytic"`` answers every miss from the vectorized
+        closed-form models in :mod:`repro.analytic` and *raises* on a
+        job they cannot reproduce bit-identically (noise, contended
+        traffic patterns, unmodeled kinds); ``"auto"`` answers the
+        analytic-eligible misses in closed form and falls back to the
+        event kernel for the rest.  Analytic batches bypass the
+        executor entirely and share one curve-level cache
+        (:attr:`analytic`) across every run of this scheduler.
 
     One scheduler drives one run at a time: start the next
     :class:`RunHandle` after the previous one ended (the executor and
     telemetry map are shared state).
     """
+
+    #: Engine choices ``__init__`` accepts.
+    ENGINES = ("event", "analytic", "auto")
+
+    #: Jobs probed against the cache per bulk ``get_many`` round-trip
+    #: (one lock acquisition and, on disk, one directory listing per
+    #: touched fanout bucket — instead of one probe per job).
+    PROBE_CHUNK = 256
 
     def __init__(
         self,
@@ -414,6 +446,7 @@ class Scheduler(object):
         cache_dir: Optional[str] = None,
         shards: Optional[int] = None,
         retries: int = 1,
+        engine: str = "event",
     ) -> None:
         if sum(option is not None for option in (cache, cache_backend, cache_dir)) > 1:
             raise EvaluationError(
@@ -421,6 +454,22 @@ class Scheduler(object):
             )
         if retries < 1:
             raise EvaluationError("retries must be >= 1")
+        if engine not in self.ENGINES:
+            raise EvaluationError(
+                "unknown engine %r; available: %s"
+                % (engine, ", ".join(self.ENGINES))
+            )
+        self.engine = engine
+        #: The :class:`~repro.analytic.AnalyticEngine` (with its
+        #: curve-level cache) serving this scheduler's closed-form
+        #: batches; ``None`` under the pure event engine.
+        self.analytic = None
+        if engine != "event":
+            # Imported lazily: the analytic models pull in numpy, which
+            # the pure event path must not require at import time.
+            from repro.analytic import AnalyticEngine
+
+            self.analytic = AnalyticEngine()
         self.executor = executor if executor is not None else SerialExecutor()
         if cache is not None:
             self.cache = cache
@@ -466,28 +515,84 @@ class Scheduler(object):
         thread — :class:`~repro.core.executors.AsyncExecutor`)."""
         in_flight: deque = deque()
         seen = set()
+        analytic = self.analytic
+
+        def serve_analytic(batch) -> None:
+            """Answer a chunk's analytic-eligible misses inline — one
+            vectorized model call per curve, no executor round-trip.
+            The jobs were announced (``_job_started``) in stream order
+            as they were collected, so result ordering matches the
+            event engine's exactly.  Runs on whatever thread is
+            consuming ``misses()``; every handle/cache/telemetry
+            surface it touches is locked."""
+            start = time.perf_counter()
+            values = analytic.compute_many(batch)
+            wall = (time.perf_counter() - start) / len(batch)
+            for job in batch:
+                outcome = JobOutcome(values[job], wall, 1)
+                self.cache.store(job, outcome.value)
+                self.telemetry[job] = JobTelemetry(
+                    job, "analytic", False, outcome.wall_seconds, 1,
+                    engine="analytic",
+                )
+                self.simulations_run += 1
+                handle._job_finished(job, outcome, engine="analytic")
 
         def misses() -> Iterator[MeasurementJob]:
-            for job in jobs:
-                if handle._cancel_event.is_set():
-                    # Cooperative cancel: stop dispatching.  Everything
-                    # already yielded keeps executing (and persisting);
-                    # this job and the rest of the stream are dropped.
-                    handle._mark_cancelled()
+            source = iter(jobs)
+            while True:
+                # Probe the cache a chunk at a time: one get_many call
+                # replaces PROBE_CHUNK individual lookups (and, on
+                # disk, one listdir per bucket replaces one open
+                # attempt per job).  Chunking also batches the
+                # analytic engine's work into few vectorized calls.
+                chunk = list(itertools.islice(source, self.PROBE_CHUNK))
+                if not chunk:
                     return
-                if job in seen:
-                    continue
-                seen.add(job)
-                value = self.cache.lookup(job)
-                if value is MISSING:
+                cached = self.cache.get_many(
+                    job for job in chunk if job not in seen
+                )
+                batch = []
+                for job in chunk:
+                    if handle._cancel_event.is_set():
+                        # Cooperative cancel: stop dispatching.
+                        # Everything already yielded keeps executing
+                        # (and persisting); this job, the rest of the
+                        # stream, and the unserved analytic batch are
+                        # dropped (the batch's announced-but-never-
+                        # finished reservations must not read as
+                        # samples).
+                        handle._drop_reservations(batch)
+                        handle._mark_cancelled()
+                        return
+                    if job in seen:
+                        continue
+                    seen.add(job)
+                    if job in cached:
+                        self.telemetry[job] = JobTelemetry(
+                            job, self.executor_name, True, 0.0, 0
+                        )
+                        handle._cache_hit(job, cached[job])
+                        continue
+                    if analytic is not None:
+                        if analytic.eligible(job):
+                            # Announce now (stream order), answer at
+                            # the end of the chunk in one batch.
+                            handle._job_started(job)
+                            batch.append(job)
+                            continue
+                        if self.engine == "analytic":
+                            raise EvaluationError(
+                                "engine='analytic' cannot serve job %s: %s "
+                                "(use engine='auto' to fall back to the "
+                                "event kernel)"
+                                % (job.label(), analytic.why_ineligible(job))
+                            )
                     in_flight.append(job)
                     handle._job_started(job)
                     yield job
-                else:
-                    self.telemetry[job] = JobTelemetry(
-                        job, self.executor_name, True, 0.0, 0
-                    )
-                    handle._cache_hit(job, value)
+                if batch:
+                    serve_analytic(batch)
 
         # Store each outcome as the executor yields it: a sweep killed
         # (or crashed, or cancelled) mid-batch keeps every job it

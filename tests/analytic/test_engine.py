@@ -1,0 +1,90 @@
+"""AnalyticEngine batching and the curve-level cache."""
+
+import pytest
+
+from repro.analytic import AnalyticEngine, CurveCache
+from repro.analytic.curves import curve_key
+from repro.core.jobs import MeasurementJob
+from repro.errors import EvaluationError
+
+
+def sweep(seed=0, sizes=(100, 200, 300, 400)):
+    return [
+        MeasurementJob("sendrecv", "p4", "sun-ethernet", 2,
+                       (("nbytes", size),), seed=seed)
+        for size in sizes
+    ]
+
+
+class TestBatching:
+    def test_ineligible_job_is_refused_loudly(self):
+        noisy = MeasurementJob("sendrecv", "p4", "sun-ethernet", 2,
+                               (("nbytes", 64),), noise=0.1)
+        with pytest.raises(EvaluationError, match="not analytic-eligible"):
+            AnalyticEngine().compute_many([noisy])
+
+    def test_one_evaluation_per_curve_in_a_batch(self):
+        engine = AnalyticEngine()
+        jobs = sweep() + [
+            MeasurementJob("broadcast", "express", "sun-ethernet", 4,
+                           (("nbytes", size),))
+            for size in (100, 200)
+        ]
+        engine.compute_many(jobs)
+        stats = engine.curves.stats()
+        assert stats["curves"] == 2
+        assert stats["evaluations"] == 2
+        assert stats["points"] == 6
+
+    def test_intra_batch_duplicates_collapse_to_one_point(self):
+        """Same size under different seeds is one curve point."""
+        engine = AnalyticEngine()
+        jobs = sweep(seed=0) + sweep(seed=1) + sweep(seed=2)
+        values = engine.compute_many(jobs)
+        assert len(values) == len(jobs)
+        stats = engine.curves.stats()
+        assert stats["points"] == 4
+        assert stats["evaluations"] == 1
+
+
+class TestCurveCache:
+    def test_resweep_with_fresh_seeds_is_all_hits(self):
+        engine = AnalyticEngine()
+        engine.compute_many(sweep(seed=0))
+        evaluations = engine.curves.stats()["evaluations"]
+
+        again = engine.compute_many(sweep(seed=99))
+        stats = engine.curves.stats()
+        assert stats["evaluations"] == evaluations  # no new model calls
+        assert stats["hits"] == 4
+        first = engine.compute_many(sweep(seed=0))
+        assert [again[job] for job in sweep(seed=99)] == \
+               [first[job] for job in sweep(seed=0)]
+
+    def test_new_points_extend_an_existing_curve(self):
+        engine = AnalyticEngine()
+        engine.compute_many(sweep(sizes=(100, 200)))
+        engine.compute_many(sweep(sizes=(200, 300)))
+        stats = engine.curves.stats()
+        assert stats["curves"] == 1
+        assert stats["points"] == 3
+        assert stats["evaluations"] == 2
+        assert stats["hits"] == 1  # the revisited 200-byte point
+
+    def test_shared_cache_across_engines(self):
+        """Two engines over one CurveCache share evaluated points."""
+        cache = CurveCache()
+        AnalyticEngine(curves=cache).compute_many(sweep())
+        AnalyticEngine(curves=cache).compute_many(sweep(seed=5))
+        assert cache.stats()["evaluations"] == 1
+
+    def test_lookup_and_snapshot(self):
+        engine = AnalyticEngine()
+        jobs = sweep(sizes=(100, 200))
+        values = engine.compute_many(jobs)
+        key = curve_key(jobs[0])
+        curve = engine.curves.curve(key)
+        assert curve == {100: values[jobs[0]], 200: values[jobs[1]]}
+        known, missing = engine.curves.lookup(key, [100, 999])
+        assert known == {100: values[jobs[0]]}
+        assert missing == [999]

@@ -1,0 +1,134 @@
+"""Property-based equivalence: admitted jobs match the event kernel.
+
+The analytic engine's core safety claim is *conditional* bit-identity:
+whenever the planner admits a job, the closed-form answer must equal
+the event kernel's answer down to the last IEEE-754 bit — and whenever
+it cannot promise that, the job must route to the kernel with a
+stated reason.  One randomized-job generator backs two harnesses
+(mirroring ``tests/core/test_cache_properties.py``): with
+``hypothesis`` installed its engine drives and shrinks the seeds;
+without it, a fixed spread of seeds exercises the same property.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.analytic import AnalyticEngine, is_eligible, why_ineligible
+from repro.core.jobs import MeasurementJob, execute_job
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on bare images
+    HAVE_HYPOTHESIS = False
+
+FALLBACK_SEEDS = range(0, 200, 8)
+
+#: Catalog platforms and their maximum processor counts.
+PLATFORM_MAX = {
+    "sun-ethernet": 8,
+    "sun-atm-lan": 8,
+    "sun-atm-wan": 4,
+    "alpha-fddi": 8,
+    "sp1-switch": 16,
+    "sp1-ethernet": 16,
+}
+
+#: Modeled kinds and their size-axis parameter.
+SIZE_PARAMS = {"sendrecv": "nbytes", "broadcast": "nbytes", "global_sum": "vector_ints"}
+
+TOOLS = ("express", "p4", "pvm", "mpi")
+
+
+def random_candidate(rng: random.Random) -> MeasurementJob:
+    """A random point from the modeled grid — eligible or not."""
+    kind = rng.choice(sorted(SIZE_PARAMS))
+    platform = rng.choice(sorted(PLATFORM_MAX))
+    return MeasurementJob(
+        kind=kind,
+        tool=rng.choice(TOOLS),
+        platform=platform,
+        processors=rng.randint(2, PLATFORM_MAX[platform]),
+        params=((SIZE_PARAMS[kind], rng.randint(0, 16_384)),),
+        seed=rng.randint(0, 2 ** 31),
+    )
+
+
+def assert_bit_identical(analytic, kernel, job):
+    if kernel is None or analytic is None:
+        assert analytic is None and kernel is None, job.label()
+        return
+    assert struct.pack("<d", analytic) == struct.pack("<d", kernel), (
+        "%s: analytic %r != kernel %r" % (job.label(), analytic, kernel)
+    )
+
+
+def check_admitted_job_matches_kernel(seed: int) -> None:
+    rng = random.Random(seed)
+    job = random_candidate(rng)
+    if not is_eligible(job):
+        # The planner must always articulate the fallback reason.
+        assert isinstance(why_ineligible(job), str)
+        return
+    assert why_ineligible(job) is None
+    assert_bit_identical(AnalyticEngine().compute(job), execute_job(job), job)
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestWithHypothesis:
+        @settings(max_examples=25, deadline=None)
+        @given(st.integers(min_value=0, max_value=2 ** 63))
+        def test_admitted_job_matches_kernel(self, seed):
+            check_admitted_job_matches_kernel(seed)
+
+else:  # pragma: no cover - exercised on bare images
+
+    class TestWithRandomSeeds:
+        @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+        def test_admitted_job_matches_kernel(self, seed):
+            check_admitted_job_matches_kernel(seed)
+
+
+class TestDeterministicGrid:
+    """A fixed mixed-curve batch through ``compute_many``."""
+
+    def grid(self):
+        jobs = []
+        for size in (0, 1, 100, 1460, 1461, 8_192):
+            jobs.append(MeasurementJob(
+                "sendrecv", "p4", "sun-ethernet", 2, (("nbytes", size),)))
+            jobs.append(MeasurementJob(
+                "broadcast", "express", "sun-atm-lan", 8, (("nbytes", size),)))
+            jobs.append(MeasurementJob(
+                "global_sum", "mpi", "sp1-switch", 8, (("vector_ints", size),)))
+        return jobs
+
+    def test_batch_matches_kernel_bit_for_bit(self):
+        jobs = self.grid()
+        values = AnalyticEngine().compute_many(jobs)
+        for job in jobs:
+            assert_bit_identical(values[job], execute_job(job), job)
+
+    def test_pvm_global_sum_is_not_available(self):
+        """PVM has no reduction primitive: both engines say None."""
+        job = MeasurementJob(
+            "global_sum", "pvm", "sun-ethernet", 4, (("vector_ints", 512),))
+        assert execute_job(job) is None
+        assert AnalyticEngine().compute(job) is None
+
+    def test_seed_does_not_move_deterministic_curves(self):
+        """noise=0 jobs draw nothing: every seed sits on one curve."""
+        base = MeasurementJob(
+            "sendrecv", "mpi", "alpha-fddi", 2, (("nbytes", 4_096),), seed=0)
+        engine = AnalyticEngine()
+        reference = engine.compute(base)
+        for seed in (1, 7, 123456):
+            twin = MeasurementJob(
+                base.kind, base.tool, base.platform, base.processors,
+                base.params, seed=seed)
+            assert_bit_identical(engine.compute(twin), reference, twin)
+            assert_bit_identical(execute_job(twin), reference, twin)

@@ -1,0 +1,114 @@
+"""Planner rules: exactly which jobs the analytic engine may answer.
+
+Every rule here mirrors a contention argument documented in
+``repro.analytic.planner`` — when one of these assertions moves, the
+closed-form model's exactness proof has to move with it.
+"""
+
+import pytest
+
+from repro.analytic import is_eligible, partition, why_ineligible
+from repro.analytic.planner import size_param
+from repro.core.jobs import MeasurementJob
+
+
+def job(kind="sendrecv", tool="p4", platform="sun-ethernet", processors=2,
+        size=1_024, param=None, seed=0, noise=0.0, params=None):
+    if params is None:
+        params = (((param or size_param(kind) or "nbytes"), size),)
+    return MeasurementJob(kind, tool, platform, processors, params,
+                          seed=seed, noise=noise)
+
+
+class TestHardExclusions:
+    def test_noise_routes_to_the_kernel(self):
+        noisy = job(noise=0.05)
+        assert not is_eligible(noisy)
+        assert "noise" in why_ineligible(noisy)
+
+    def test_unmodeled_kinds_route_to_the_kernel(self):
+        assert "contended" in why_ineligible(job(kind="ring"))
+        application = MeasurementJob(
+            "application", "p4", "sun-ethernet", 4, (("app", "montecarlo"),))
+        assert not is_eligible(application)
+
+    def test_unmodeled_tool_routes_to_the_kernel(self):
+        assert "tool" in why_ineligible(job(tool="my-custom-tool"))
+
+    def test_malformed_sizes_surface_via_the_kernel(self):
+        """Bad parameters must raise the *kernel's* error, so the
+        planner refuses them rather than guessing."""
+        assert not is_eligible(job(size=-1))
+        assert not is_eligible(job(size=2.5))
+        assert not is_eligible(job(size=True))
+        assert not is_eligible(job(size=(1 << 24) + 1))
+        assert is_eligible(job(size=1 << 24))
+        assert "parameters" in why_ineligible(
+            job(params=(("nbytes", 64), ("extra", 1))))
+
+    def test_unbuildable_platform_routes_to_the_kernel(self):
+        # sun-atm-wan tops out at 4 processors.
+        assert "does not build" in why_ineligible(
+            job(platform="sun-atm-wan", processors=8))
+        assert is_eligible(job(platform="sun-atm-wan", processors=4))
+
+
+class TestContentionRules:
+    def test_sendrecv_is_uncontended_everywhere(self):
+        for tool in ("express", "p4", "pvm", "mpi"):
+            assert is_eligible(job(tool=tool, processors=8))
+
+    def test_chain_tools_broadcast_at_any_size(self):
+        """Express/PVM serialize every transfer through one chain."""
+        for tool in ("express", "pvm"):
+            assert is_eligible(job(kind="broadcast", tool=tool, processors=8))
+
+    def test_binomial_broadcast_needs_a_switched_fabric(self):
+        contended = job(kind="broadcast", tool="p4", processors=4)
+        assert "contends" in why_ineligible(contended)
+        assert is_eligible(job(kind="broadcast", tool="p4", processors=2))
+        assert is_eligible(job(kind="broadcast", tool="mpi",
+                               platform="sun-atm-lan", processors=8))
+        assert is_eligible(job(kind="broadcast", tool="mpi",
+                               platform="sp1-switch", processors=16))
+
+    def test_express_global_sum_only_below_fan_in(self):
+        assert is_eligible(job(kind="global_sum", tool="express", processors=2))
+        assert "senders" in why_ineligible(
+            job(kind="global_sum", tool="express", processors=4))
+
+    def test_pvm_global_sum_is_trivially_exact(self):
+        """No reduction primitive: 'Not Available' needs no kernel."""
+        assert is_eligible(job(kind="global_sum", tool="pvm", processors=8))
+
+    def test_binomial_reduce_needs_a_full_tree(self):
+        assert "siblings" in why_ineligible(
+            job(kind="global_sum", tool="p4", platform="sp1-switch",
+                processors=3))
+        assert is_eligible(job(kind="global_sum", tool="p4",
+                               platform="sp1-switch", processors=8))
+        # Power-of-two alone is not enough on a shared segment.
+        assert not is_eligible(job(kind="global_sum", tool="p4", processors=4))
+        assert is_eligible(job(kind="global_sum", tool="p4", processors=2))
+
+
+class TestPartition:
+    def test_partition_preserves_order_and_covers_input(self):
+        jobs = [
+            job(size=100),                          # analytic
+            job(kind="ring", params=(("nbytes", 100),)),  # event
+            job(size=200),                          # analytic
+            job(noise=0.1),                         # event
+            job(kind="broadcast", tool="express"),  # analytic
+        ]
+        analytic, event = partition(jobs)
+        assert analytic == [jobs[0], jobs[2], jobs[4]]
+        assert event == [jobs[1], jobs[3]]
+        assert sorted(analytic + event, key=jobs.index) == jobs
+
+    def test_size_param_covers_exactly_the_modeled_kinds(self):
+        assert size_param("sendrecv") == "nbytes"
+        assert size_param("broadcast") == "nbytes"
+        assert size_param("global_sum") == "vector_ints"
+        assert size_param("ring") is None
+        assert size_param("application") is None

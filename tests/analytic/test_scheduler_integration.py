@@ -1,0 +1,104 @@
+"""Scheduler integration: engine="auto"/"analytic" end to end.
+
+The contract under test: switching a run to the analytic engine is a
+pure performance decision — the exported results (values, sample
+order, statistics) are bit-identical to an all-event run, telemetry
+says which engine produced each sample, and strict ``"analytic"``
+mode refuses rather than silently simulating.
+"""
+
+import pytest
+
+from repro.analytic import is_eligible
+from repro.core.progress import JobFinished
+from repro.core.scheduler import Scheduler
+from repro.core.spec import EvaluationSpec
+from repro.errors import EvaluationError
+
+_TINY = dict(
+    tpl_sizes=(1024,),
+    global_sum_ints=2_000,
+    apps=("montecarlo",),
+    app_params={"montecarlo": {"samples": 5_000}},
+)
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(_TINY)
+    kwargs.update(overrides)
+    return EvaluationSpec(**kwargs)
+
+
+class TestAutoEngine:
+    def test_auto_run_exports_bit_identical_to_event(self):
+        spec = tiny_spec()
+        event = Scheduler(engine="event").run(spec).to_dict()
+        auto = Scheduler(engine="auto").run(spec).to_dict()
+        assert auto["samples"] == event["samples"]  # values AND order
+
+    def test_telemetry_marks_the_producing_engine(self):
+        spec = tiny_spec()
+        scheduler = Scheduler(engine="auto")
+        scheduler.run(spec)
+        jobs = spec.jobs()
+        analytic = [job for job in jobs if is_eligible(job)]
+        assert analytic  # the tiny spec must exercise both paths
+        assert len(analytic) < len(jobs)
+        for job in jobs:
+            expected = "analytic" if is_eligible(job) else "event"
+            assert scheduler.telemetry[job].engine == expected
+
+    def test_finished_events_carry_the_engine(self):
+        spec = tiny_spec()
+        events = []
+        Scheduler(engine="auto").run(spec, on_event=events.append)
+        engines = {event.job: event.engine for event in events
+                   if isinstance(event, JobFinished)}
+        assert set(engines.values()) == {"analytic", "event"}
+        for job, engine in engines.items():
+            assert engine == ("analytic" if is_eligible(job) else "event")
+
+    def test_warm_rerun_is_all_cache_hits(self):
+        spec = tiny_spec()
+        scheduler = Scheduler(engine="auto")
+        scheduler.run(spec)
+        simulated = scheduler.simulations_run
+        scheduler.run(spec)
+        assert scheduler.simulations_run == simulated
+        assert scheduler.cache.hits == spec.job_count()
+
+    def test_fresh_seeds_reuse_curves_not_results(self):
+        """A re-sweep with new seeds misses the job cache but hits the
+        curve cache: zero new vectorized evaluations."""
+        scheduler = Scheduler(engine="auto")
+        scheduler.run(tiny_spec(seeds=(0,)))
+        evaluations = scheduler.analytic.curves.stats()["evaluations"]
+        scheduler.run(tiny_spec(seeds=(7,)))
+        stats = scheduler.analytic.curves.stats()
+        assert stats["evaluations"] == evaluations
+        assert stats["hits"] > 0
+
+
+class TestStrictAndValidation:
+    def test_unknown_engine_fails_at_construction(self):
+        with pytest.raises(EvaluationError, match="unknown engine"):
+            Scheduler(engine="closed-form")
+
+    def test_event_scheduler_builds_no_analytic_engine(self):
+        assert Scheduler().analytic is None
+        assert Scheduler(engine="auto").analytic is not None
+
+    def test_strict_analytic_refuses_ineligible_jobs(self):
+        """engine="analytic" must not silently fall back."""
+        spec = tiny_spec()  # contains ring + application jobs
+        with pytest.raises(EvaluationError, match="engine='analytic'"):
+            Scheduler(engine="analytic").run(spec)
+
+    def test_strict_refusal_names_the_job_and_reason(self):
+        spec = tiny_spec()
+        with pytest.raises(EvaluationError) as failure:
+            Scheduler(engine="analytic").run(spec)
+        message = str(failure.value)
+        assert "broadcast[nbytes=1024] p4@sun-ethernet/4" in message
+        assert "contends" in message
+        assert "engine='auto'" in message  # the fix is suggested
