@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Run the invariant-enforcing static checks (CI entry point).
+
+Thin wrapper over ``repro check`` so the suite is runnable without
+installing the package::
+
+    python scripts/run_checks.py                 # checks src/
+    python scripts/run_checks.py --rule locking src tests
+    python scripts/run_checks.py --format json
+
+Exit status: 0 clean, 1 findings, 2 usage error — CI treats anything
+nonzero as a hard failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["check", *sys.argv[1:]]))

@@ -1,0 +1,52 @@
+"""Invariant-enforcing static analysis over the repro source tree.
+
+The repo rests on three load-bearing invariants that used to live
+only as prose in ROADMAP.md:
+
+1. **Determinism** — all randomness in the simulation-adjacent trees
+   flows through named :class:`~repro.sim.rng.RandomStreams` streams
+   and all time through ``Environment.now``, never ``random.*`` /
+   ``time.time()`` / ``datetime.now()``.
+2. **Lock discipline** — shared mutable state is declared with a
+   ``# guarded-by: _lock`` annotation and touched only inside
+   ``with self._lock:`` blocks.
+3. **Schema coherence** — event registries, ``to_dict``/``from_dict``
+   round-trips and cache-key field lists stay in sync with the
+   dataclasses the golden fixtures depend on.
+
+This package turns those rules into executable checks (stdlib ``ast``
+only): :mod:`repro.analysis.engine` is the rule framework, the
+:mod:`repro.analysis.rules` packs implement the invariants, and
+``repro check [PATHS]`` / ``scripts/run_checks.py`` drive them (CI's
+``static-smoke`` job runs them hard-fail over ``src/``).
+
+Violations that are *deliberate* (e.g. the :mod:`repro.sim.rng`
+implementation itself constructing ``random.Random``) carry a
+``# repro: allow[rule-id]`` suppression comment on the offending
+line; suppressions that stop matching anything are themselves
+reported, so stale exemptions cannot accumulate.
+"""
+
+from repro.analysis.engine import (
+    CheckReport,
+    Finding,
+    Rule,
+    SourceModule,
+    all_rules,
+    findings_to_json,
+    iter_python_files,
+    run_checks,
+    select_rules,
+)
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "findings_to_json",
+    "iter_python_files",
+    "run_checks",
+    "select_rules",
+]

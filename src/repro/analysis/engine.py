@@ -1,0 +1,304 @@
+"""The rule framework: file walker, findings, suppressions.
+
+A :class:`Rule` inspects one parsed module at a time and yields
+:class:`Finding` records (file, line, message, fix hint).  The engine
+owns everything around that: walking the requested paths, parsing each
+file once into a shared :class:`SourceModule`, honoring
+``# repro: allow[rule-id]`` suppression comments, and reporting
+suppressions that no longer suppress anything (a stale exemption is
+itself a finding — otherwise allow-comments would outlive the code
+they excused).
+
+Rules are pure syntax analysis over the stdlib ``ast`` — no imports
+of the checked code, no execution — so the checker runs identically
+on the real tree and on the known-bad fixture snippets in the tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "CheckReport",
+    "all_rules",
+    "select_rules",
+    "iter_python_files",
+    "run_checks",
+    "findings_to_json",
+]
+
+#: ``# repro: allow[rule-id]`` (comma-separated ids allowed) — the
+#: one sanctioned way to mark a deliberate violation in place.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+#: Rule id for a suppression comment that matched no finding.
+UNUSED_SUPPRESSION = "engine.unused-suppression"
+
+#: Rule id for a file the parser rejects (reported, never raised).
+SYNTAX_ERROR = "engine.syntax-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: where it is, which rule, and how to fix it."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: Optional[str] = None
+
+    def render(self) -> str:
+        text = "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+        if self.hint:
+            text += "\n    hint: %s" % self.hint
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+class SourceModule(object):
+    """One parsed file, shared by every rule that inspects it.
+
+    ``path`` is the display path (as given/walked, so findings print
+    paths the caller can click); ``lines`` is the raw source split
+    for comment scanning (``ast`` drops comments).
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.comments = self._extract_comments(text)
+
+    @staticmethod
+    def _extract_comments(text: str) -> Dict[int, str]:
+        """line -> comment text, via ``tokenize`` so a string literal
+        that merely *mentions* ``# repro: allow[...]`` (e.g. a rule's
+        own hint text) is never mistaken for an annotation."""
+        comments: Dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(text).readline):
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass  # ast.parse accepted the file; keep what we got
+        return comments
+
+    def line_comment(self, lineno: int) -> str:
+        """The comment on source line ``lineno`` (1-based), ``""``
+        when there is none — annotation scans never raise."""
+        return self.comments.get(lineno, "")
+
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """line -> rule ids allowed on that line."""
+        allowed: Dict[int, Set[str]] = {}
+        for lineno, comment in self.comments.items():
+            match = _ALLOW_RE.search(comment)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                allowed[lineno] = {part for part in ids if part}
+        return allowed
+
+
+class Rule(object):
+    """One invariant: yields findings for a module that violates it.
+
+    Subclasses set ``id`` (stable, ``pack.name`` shaped — the handle
+    for ``--rule`` filters and ``allow[...]`` comments), a one-line
+    ``description`` and a generic ``hint`` (per-finding hints may
+    override it).
+    """
+
+    id = "rule"
+    description = ""
+    hint: Optional[str] = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node_or_line, message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(
+            rule=self.id, path=module.path, line=int(line),
+            message=message, hint=hint if hint is not None else self.hint,
+        )
+
+
+@dataclass
+class CheckReport:
+    """What one engine run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, packs in documented order.
+
+    Imported lazily so the engine module stays importable from the
+    rule packs themselves without a cycle.
+    """
+    from repro.analysis.rules.determinism import DETERMINISM_RULES
+    from repro.analysis.rules.locking import LOCKING_RULES
+    from repro.analysis.rules.schema import SCHEMA_RULES
+
+    return [*DETERMINISM_RULES, *LOCKING_RULES, *SCHEMA_RULES]
+
+
+def select_rules(selectors: Optional[Sequence[str]]) -> List[Rule]:
+    """Resolve ``--rule`` selectors: exact ids or pack prefixes.
+
+    ``None``/empty selects everything.  ``"determinism"`` selects the
+    whole determinism pack; ``"determinism.wall-clock"`` one rule.  An
+    unknown selector raises :class:`EvaluationError` naming what is
+    available — a typo'd filter must never silently check nothing.
+    """
+    rules = all_rules()
+    if not selectors:
+        return rules
+    selected: List[Rule] = []
+    seen: Set[str] = set()
+    for selector in selectors:
+        matched = [
+            rule for rule in rules
+            if rule.id == selector or rule.id.startswith(selector + ".")
+        ]
+        if not matched:
+            raise EvaluationError(
+                "unknown rule %r; available: %s"
+                % (selector, ", ".join(rule.id for rule in rules))
+            )
+        for rule in matched:
+            if rule.id not in seen:
+                seen.add(rule.id)
+                selected.append(rule)
+    return selected
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths``, sorted, each one once.
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  A path that exists but is neither a
+    ``.py`` file nor a directory is ignored; a path that does not
+    exist raises — a typo'd target must not report a clean run.
+    """
+    seen: Set[str] = set()
+    collected: List[str] = []
+    for path in paths:
+        if not os.path.exists(path):
+            raise EvaluationError("no such file or directory: %s" % path)
+        if os.path.isfile(path):
+            candidates = [path] if path.endswith(".py") else []
+        else:
+            candidates = []
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames
+                    if name != "__pycache__" and not name.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        candidates.append(os.path.join(root, name))
+        for candidate in candidates:
+            marker = os.path.realpath(candidate)
+            if marker not in seen:
+                seen.add(marker)
+                collected.append(candidate)
+    return iter(sorted(collected))
+
+
+def run_checks(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None,
+) -> CheckReport:
+    """Run ``rules`` (default: all) over every python file in ``paths``.
+
+    Suppression comments are honored per (line, rule id); allow
+    comments naming one of the *selected* rules that suppressed
+    nothing become :data:`UNUSED_SUPPRESSION` findings.  Suppressions
+    for rules outside the selection are left alone, so a ``--rule``
+    bisection never misreports another pack's exemptions as stale.
+    Unparseable files become :data:`SYNTAX_ERROR` findings.
+    """
+    if rules is None:
+        rules = all_rules()
+    selected_ids = {rule.id for rule in rules}
+    report = CheckReport(rules_run=tuple(rule.id for rule in rules))
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            module = SourceModule(path, text)
+        except (OSError, SyntaxError, ValueError) as error:
+            report.findings.append(Finding(
+                rule=SYNTAX_ERROR, path=path,
+                line=getattr(error, "lineno", None) or 1,
+                message="cannot parse: %s" % error, hint=None,
+            ))
+            continue
+        allowed = module.suppressions()
+        used: Set[Tuple[int, str]] = set()
+        for rule in rules:
+            for finding in rule.check(module):
+                ids_here = allowed.get(finding.line, set())
+                if finding.rule in ids_here:
+                    used.add((finding.line, finding.rule))
+                else:
+                    report.findings.append(finding)
+        for line, ids in sorted(allowed.items()):
+            for rule_id in sorted(ids & selected_ids):
+                if (line, rule_id) not in used:
+                    report.findings.append(Finding(
+                        rule=UNUSED_SUPPRESSION, path=path, line=line,
+                        message="suppression allow[%s] matches no finding"
+                                % rule_id,
+                        hint="delete the stale # repro: allow[...] comment "
+                             "(or fix its rule id)",
+                    ))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def findings_to_json(report: CheckReport) -> str:
+    """The machine-readable report CI consumes (stable schema)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "files_checked": report.files_checked,
+            "rules_run": list(report.rules_run),
+            "clean": report.clean,
+            "findings": [finding.to_dict() for finding in report.findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,12 @@
+"""The invariant rule packs the engine runs.
+
+Each module contributes one pack (a list of
+:class:`~repro.analysis.engine.Rule` instances):
+
+* :mod:`repro.analysis.rules.determinism` — simulation code draws
+  entropy and time only through the sanctioned seams.
+* :mod:`repro.analysis.rules.locking` — ``# guarded-by:`` annotated
+  fields are touched only under their lock.
+* :mod:`repro.analysis.rules.schema` — serialization registries and
+  round-trips stay in sync with their dataclasses.
+"""

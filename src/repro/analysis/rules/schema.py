@@ -1,0 +1,254 @@
+"""Schema-drift rules: serialization stays in sync with the classes.
+
+The cache keys, the service's SSE protocol and the golden fixtures
+all ride on hand-written ``to_dict``/``from_dict`` pairs and one
+event-type registry.  Each is trivially easy to forget when adding a
+field or an event class — and the failure mode is silent (a field
+that never round-trips, an event the service cannot stream).  This
+pack pins them:
+
+* :class:`EventRegistryRule` — every ``RunEvent`` subclass defined in
+  a module that owns an ``EVENT_TYPES`` registry must be enrolled in
+  it (and the registry must not enroll ghosts).
+* :class:`DictRoundTripRule` — every field of a dataclass that
+  defines both ``to_dict`` and ``from_dict`` must be mentioned by
+  both (a field can opt out with a trailing ``# schema: external``
+  comment when it is carried out-of-band, e.g. a telemetry record's
+  ``job`` travelling as the mapping key).
+* :class:`CacheKeyFieldsRule` — the keys ``MeasurementJob.to_dict``
+  writes (the content-address payload of the result cache) must be
+  exactly the dataclass's fields: a field missing from the dict means
+  two distinct jobs share a cache entry; a ghost key means the
+  address changes without the job changing.  Conditional writes (the
+  documented noise-elision: ``noise`` serialized only when nonzero)
+  count — presence in the serializer is what is checked, not
+  unconditional presence in every payload.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, Rule, SourceModule
+
+__all__ = [
+    "EventRegistryRule",
+    "DictRoundTripRule",
+    "CacheKeyFieldsRule",
+    "SCHEMA_RULES",
+]
+
+#: ``# schema: external`` on a field line: the field is carried
+#: out-of-band (e.g. as the mapping key its record is stored under)
+#: and is exempt from the round-trip checks.
+_EXTERNAL_RE = re.compile(r"#\s*schema:\s*external\b")
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(
+    module: SourceModule, cls: ast.ClassDef,
+) -> Tuple[List[Tuple[str, int]], Set[str]]:
+    """``(declared fields with lines, externally-carried fields)``.
+
+    Fields are the class-level annotated assignments (dataclass
+    semantics); plain ``name = value`` class attributes (like the
+    events' ``type`` tags) are not fields.  ``ClassVar`` annotations
+    are skipped too.
+    """
+    fields: List[Tuple[str, int]] = []
+    external: Set[str] = set()
+    for item in cls.body:
+        if not (isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)):
+            continue
+        annotation = ast.dump(item.annotation)
+        if "ClassVar" in annotation:
+            continue
+        name = item.target.id
+        fields.append((name, item.lineno))
+        if _EXTERNAL_RE.search(module.line_comment(item.lineno)):
+            external.add(name)
+    return fields, external
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and item.name == name:
+            return item
+    return None
+
+
+def _mentioned_names(function: ast.AST) -> Set[str]:
+    """Every way a field can be referenced inside a serializer: string
+    keys, keyword-argument names, and attribute accesses."""
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg:
+            names.add(node.arg)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+class EventRegistryRule(Rule):
+    id = "schema.event-registry"
+    description = ("every RunEvent subclass must be enrolled in the "
+                   "EVENT_TYPES registry its module defines (the service's "
+                   "SSE protocol streams only enrolled types)")
+    hint = ("add the event class to the EVENT_TYPES registry tuple — an "
+            "unenrolled event cannot cross the service boundary")
+
+    def _registry_classes(
+        self, tree: ast.Module,
+    ) -> Optional[Tuple[ast.AST, Set[str]]]:
+        """The ``EVENT_TYPES`` assignment and the class names it
+        enrolls, or None when the module has no registry."""
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "EVENT_TYPES"
+                for target in node.targets
+            )):
+                continue
+            names: Set[str] = set()
+            if isinstance(node.value, ast.DictComp):
+                for comp in node.value.generators:
+                    if isinstance(comp.iter, (ast.Tuple, ast.List)):
+                        names.update(
+                            elt.id for elt in comp.iter.elts
+                            if isinstance(elt, ast.Name)
+                        )
+            elif isinstance(node.value, ast.Dict):
+                names.update(
+                    value.id for value in node.value.values
+                    if isinstance(value, ast.Name)
+                )
+            return node, names
+        return None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        registry = self._registry_classes(module.tree)
+        if registry is None:
+            return
+        node, enrolled = registry
+        event_classes: Dict[str, ast.ClassDef] = {}
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef) and any(
+                isinstance(base, ast.Name) and base.id == "RunEvent"
+                for base in cls.bases
+            ):
+                event_classes[cls.name] = cls
+        for name in sorted(set(event_classes) - enrolled):
+            yield self.finding(
+                module, event_classes[name],
+                "event class %s subclasses RunEvent but is not enrolled "
+                "in EVENT_TYPES" % name,
+            )
+        for name in sorted(enrolled - set(event_classes)):
+            yield self.finding(
+                module, node,
+                "EVENT_TYPES enrolls %r which is not a RunEvent subclass "
+                "in this module" % name,
+                hint="remove the ghost entry (or define the event class)",
+            )
+
+
+class DictRoundTripRule(Rule):
+    id = "schema.dict-round-trip"
+    description = ("every field of a dataclass with to_dict/from_dict must "
+                   "be handled by both (fields carried out-of-band opt out "
+                   "with '# schema: external')")
+    hint = ("serialize the field in to_dict and rebuild it in from_dict — "
+            "a field handled by one side only silently fails to round-trip")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not (isinstance(cls, ast.ClassDef) and _is_dataclass(cls)):
+                continue
+            to_dict = _method(cls, "to_dict")
+            from_dict = _method(cls, "from_dict")
+            if to_dict is None or from_dict is None:
+                continue
+            fields, external = _dataclass_fields(module, cls)
+            sides = (("to_dict", _mentioned_names(to_dict)),
+                     ("from_dict", _mentioned_names(from_dict)))
+            for name, lineno in fields:
+                if name in external:
+                    continue
+                for side, mentioned in sides:
+                    if name not in mentioned:
+                        yield self.finding(
+                            module, lineno,
+                            "%s.%s is never handled by %s()"
+                            % (cls.name, name, side),
+                        )
+
+
+class CacheKeyFieldsRule(Rule):
+    id = "schema.cache-key-fields"
+    description = ("MeasurementJob.to_dict (the cache-key payload) must "
+                   "write exactly the dataclass's fields, modulo the "
+                   "documented elision of falsy defaults")
+    hint = ("the job's to_dict IS its content address: a missing field "
+            "aliases distinct jobs onto one cache entry, a ghost key "
+            "retires every existing entry")
+
+    def _written_keys(self, function: ast.AST) -> Set[str]:
+        """String keys the serializer writes: dict-literal keys plus
+        ``data["key"] = ...`` subscript assignments."""
+        keys: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Dict):
+                keys.update(
+                    key.value for key in node.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.add(target.slice.value)
+        return keys
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not (isinstance(cls, ast.ClassDef) and cls.name == "MeasurementJob"):
+                continue
+            to_dict = _method(cls, "to_dict")
+            if to_dict is None:
+                continue
+            fields, external = _dataclass_fields(module, cls)
+            field_names = {name for name, _ in fields} - external
+            written = self._written_keys(to_dict)
+            lines = dict(fields)
+            for name in sorted(field_names - written):
+                yield self.finding(
+                    module, lines[name],
+                    "MeasurementJob.%s never reaches to_dict — two jobs "
+                    "differing only in %s would share a cache key"
+                    % (name, name),
+                )
+            for name in sorted(written - field_names):
+                yield self.finding(
+                    module, to_dict,
+                    "MeasurementJob.to_dict writes key %r which is not a "
+                    "field — the cache address varies independently of "
+                    "the job" % name,
+                )
+
+
+SCHEMA_RULES = [EventRegistryRule(), DictRoundTripRule(), CacheKeyFieldsRule()]

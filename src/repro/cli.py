@@ -9,6 +9,7 @@ Usage::
     python -m repro experiment table3 fig4
     python -m repro usability
     python -m repro serve --port 8765 --db runs.db --cache-dir .repro-cache
+    python -m repro check src/ --format json
 """
 
 from __future__ import annotations
@@ -249,6 +250,80 @@ worker-pull execution:
                         metavar="SECONDS",
                         help="exit once the queue stayed empty this long "
                              "(default: run until SIGTERM)")
+
+    check = sub.add_parser(
+        "check",
+        help="run the invariant-enforcing static checks over source trees",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+invariant checks (pure ast analysis; nothing is imported or run):
+
+  determinism.wall-clock   no time.time()/monotonic()/datetime.now()
+                           inside sim|net|tools|analytic|apps —
+                           simulated code reads Environment.now only.
+  determinism.entropy      no random.*/numpy.random.*/os.urandom/uuid/
+                           secrets there either; randomness comes from
+                           named RandomStreams streams.
+  determinism.stream-name  stream names handed to RandomStreams must
+                           be static strings registered in
+                           repro.sim.rng.STREAM_NAMES ('prefix*'
+                           entries admit per-rank families).
+  determinism.key-ordering key/hash-building functions must not depend
+                           on dict iteration order: json.dumps needs
+                           sort_keys=True, .items()/.keys()/.values()
+                           need a sorted(...) wrapper.
+  locking.guarded-field    fields annotated '# guarded-by: <lock>' are
+                           only touched inside 'with self.<lock>:'
+                           (methods named *_locked are assumed to be
+                           called with the lock held; __init__ is
+                           exempt).
+  locking.unknown-guard    a guarded-by annotation must name a lock
+                           attribute the class actually creates.
+  schema.event-registry    every RunEvent subclass is enrolled in its
+                           module's EVENT_TYPES registry (the SSE
+                           protocol streams only enrolled types).
+  schema.dict-round-trip   every field of a dataclass with both
+                           to_dict and from_dict is handled by both
+                           ('# schema: external' opts a field carried
+                           out-of-band out).
+  schema.cache-key-fields  MeasurementJob.to_dict — the cache-key
+                           payload — writes exactly the dataclass's
+                           fields.
+  engine.unused-suppression  a '# repro: allow[rule-id]' comment that
+                           suppresses nothing is itself reported.
+  engine.syntax-error      a file the parser rejects is reported, not
+                           skipped.
+
+suppressions:
+  '# repro: allow[rule-id]' (comma-separated ids) on the offending
+  line marks a deliberate violation; pair it with a comment saying
+  why.  Stale suppressions are findings (see above).
+
+exit status: 0 clean, 1 findings, 2 usage error (unknown --rule,
+missing path).
+
+  examples:
+    repro check src/
+    repro check --rule determinism src/repro/net
+    repro check --rule locking.guarded-field --format json src/
+""",
+    )
+    check.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                       help="files or directories to check (default: src "
+                            "if it exists, else the current directory)")
+    check.add_argument("--rule", action="append", default=None,
+                       metavar="ID",
+                       help="run only this rule or pack ('determinism' "
+                            "selects the pack, 'determinism.entropy' one "
+                            "rule; repeatable) — bisect a red run with "
+                            "successive --rule filters")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="text prints file:line findings with hints; "
+                            "json emits the stable machine-readable "
+                            "report CI consumes")
+    check.add_argument("--list", action="store_true",
+                       help="list every rule id with its description and "
+                            "exit")
 
     experiment = sub.add_parser("experiment", help="regenerate paper tables/figures")
     experiment.add_argument("ids", nargs="*", help="experiment ids (default: all)")
@@ -520,6 +595,39 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import os
+
+    from repro.analysis import all_rules, findings_to_json, run_checks, select_rules
+    from repro.errors import ReproError
+
+    if args.list:
+        for rule in all_rules():
+            print("%-25s %s" % (rule.id, rule.description))
+        print()
+        print("dynamic counterparts (assertions, not lint): "
+              "tests/analysis_checks/ promotes scripts/apl_check.py and "
+              "scripts/ordering_check.py into pytest tests of the paper's "
+              "qualitative orderings.")
+        return 0
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    try:
+        rules = select_rules(args.rule)
+        report = run_checks(paths, rules)
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    if args.format == "json":
+        print(findings_to_json(report))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print("%d file(s) checked, %d rule(s), %d finding(s)"
+              % (report.files_checked, len(report.rules_run),
+                 len(report.findings)))
+    return 0 if report.clean else 1
+
+
 def _cmd_experiment(ids: List[str]) -> int:
     from repro.bench.runner import available_experiments, run_experiments
     from repro.errors import ReproError
@@ -646,6 +754,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "experiment":
         return _cmd_experiment(args.ids)
     if args.command == "usability":

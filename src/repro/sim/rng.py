@@ -6,11 +6,15 @@ that adding a new consumer never perturbs the draws seen by existing
 ones.  Stream seeds are derived stably from ``(root_seed, name)`` via
 SHA-256, so results are reproducible across runs and Python versions.
 
-Stream names in use by the built-in network noise models
-(:meth:`repro.net.base.Network.enable_noise`): ``"ethernet.backoff"``,
-``"fddi.token"``, ``"atm.switch"``, ``"allnode.switch"``.  Keep new
-consumers on their own names; :meth:`RandomStreams.stream_names`
-shows which streams a run actually instantiated.
+Every stream name in use is registered in :data:`STREAM_NAMES` below.
+The registry is what makes "adding a consumer is a deliberate act"
+enforceable: the ``determinism.stream-name`` check (``repro check``)
+rejects any ``stream(...)``/``numpy_stream(...)`` call whose name is
+not registered, so a new consumer shows up here — next to a one-line
+description of what it feeds — in the same diff that introduces it.
+Per-rank families register once as a ``"prefix*"`` pattern.
+:meth:`RandomStreams.stream_names` is the runtime complement: it
+shows which registered streams a run actually instantiated.
 """
 
 from __future__ import annotations
@@ -21,7 +25,26 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["derive_seed", "RandomStreams"]
+__all__ = ["derive_seed", "RandomStreams", "STREAM_NAMES"]
+
+#: The documented registry of stream names.  Exact names, or
+#: ``"prefix*"`` for per-rank families (``"mc.rank*"`` admits
+#: ``"mc.rank0"``, ``"mc.rank1"``, ...).  Checked statically by
+#: ``repro check`` (determinism.stream-name); keep each entry's
+#: description current — it is the review trail for who draws what.
+STREAM_NAMES: Dict[str, str] = {
+    "ethernet.backoff": "Ethernet CSMA/CD retransmission backoff noise",
+    "fddi.token": "FDDI token-rotation jitter noise",
+    "atm.switch": "ATM switch-transit jitter noise",
+    "allnode.switch": "Allnode crossbar switch-transit jitter noise",
+    "mc.rank*": "per-rank Monte Carlo pi sample coordinates",
+    "lu.matrix": "LU factorization input matrix",
+    "matmul.a.rank*": "per-rank row blocks of matmul operand A",
+    "matmul.b": "shared matmul operand B (every rank re-derives it)",
+    "psrs.keys.rank*": "per-rank unsorted key blocks for PSRS sorting",
+    "jpeg.image": "synthetic gradient-noise image for JPEG encoding",
+    "fft.rows.rank*": "per-rank signal rows for the 2-D FFT",
+}
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -37,7 +60,7 @@ class RandomStreams(object):
     --------
     >>> streams = RandomStreams(seed=42)
     >>> backoff = streams.stream("ethernet.backoff")
-    >>> samples = streams.numpy_stream("montecarlo.samples")
+    >>> samples = streams.numpy_stream("mc.rank0")
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -66,7 +89,10 @@ class RandomStreams(object):
     def stream(self, name: str) -> random.Random:
         """Return (creating on first use) the Python stream ``name``."""
         if name not in self._py_streams:
-            self._py_streams[name] = random.Random(derive_seed(self._seed, name))
+            # The one sanctioned construction site for seeded PRNGs.
+            self._py_streams[name] = random.Random(  # repro: allow[determinism.entropy]
+                derive_seed(self._seed, name)
+            )
         return self._py_streams[name]
 
     def numpy_stream(self, name: str) -> np.random.Generator:
@@ -75,7 +101,9 @@ class RandomStreams(object):
         The stream is stateful: successive calls continue the sequence.
         """
         if name not in self._np_streams:
-            self._np_streams[name] = np.random.default_rng(derive_seed(self._seed, name))
+            self._np_streams[name] = np.random.default_rng(  # repro: allow[determinism.entropy]
+                derive_seed(self._seed, name)
+            )
         return self._np_streams[name]
 
     def fresh_numpy_stream(self, name: str) -> np.random.Generator:
@@ -84,4 +112,6 @@ class RandomStreams(object):
         Use this when the same data must be re-derivable later (e.g. a
         verifier regenerating the exact keys a rank produced).
         """
-        return np.random.default_rng(derive_seed(self._seed, name))
+        return np.random.default_rng(  # repro: allow[determinism.entropy]
+            derive_seed(self._seed, name)
+        )
