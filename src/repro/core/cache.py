@@ -270,7 +270,7 @@ class MemoryBackend(CacheBackend):
     name = "memory"
 
     def __init__(self) -> None:
-        self._store: Dict[str, Optional[float]] = {}
+        self._store: Dict[str, Optional[float]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def get(self, key: str):
@@ -332,7 +332,7 @@ class DiskBackend(CacheBackend):
     def __init__(self, root: str) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
-        self._memo: Dict[str, Optional[float]] = {}
+        self._memo: Dict[str, Optional[float]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         # Kill-and-resume is an advertised workflow, so orphaned temp
         # files are expected litter; sweep opportunistically on open
@@ -608,15 +608,15 @@ class ResultCache(object):
 
     def __init__(self, backend: Optional[CacheBackend] = None) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
         # Guards the counters, the key memo and the compound
         # lookup-then-count / store operations below.  Reentrant so a
         # backend callback could safely re-enter the cache.
         self._lock = threading.RLock()
         # job -> content key memo: hashing a job canonicalizes it to
         # JSON, which is worth doing once, not once per lookup.
-        self._keys: Dict[MeasurementJob, str] = {}
+        self._keys: Dict[MeasurementJob, str] = {}  # guarded-by: _lock
 
     @classmethod
     def on_disk(cls, cache_dir: str, shards: Optional[int] = None) -> "ResultCache":
