@@ -137,10 +137,10 @@ class JobRegistry(object):
             scheduler_factory = lambda: Scheduler(cache=shared)  # noqa: E731
         self._scheduler_factory = scheduler_factory
         self._lock = threading.Lock()
-        self._runs: Dict[str, _ManagedRun] = {}
-        self._queues: Dict[str, deque] = {}   # user -> run_ids waiting
-        self._active: Dict[str, set] = {}     # user -> run_ids running
-        self._shutting_down = False
+        self._runs: Dict[str, _ManagedRun] = {}  # guarded-by: _lock
+        self._queues: Dict[str, deque] = {}   # user -> run_ids waiting; guarded-by: _lock
+        self._active: Dict[str, set] = {}     # user -> run_ids running; guarded-by: _lock
+        self._shutting_down = False  # guarded-by: _lock
 
     # -- submission ----------------------------------------------------
 

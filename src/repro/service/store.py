@@ -107,7 +107,7 @@ class RunStore(object):
         self._lock = threading.Lock()
         # One connection, serialized by our lock: check_same_thread
         # off is safe because no two threads ever use it concurrently.
-        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db = sqlite3.connect(path, check_same_thread=False)  # guarded-by: _lock
         self._db.row_factory = sqlite3.Row
         with self._lock:
             self._db.execute("PRAGMA journal_mode=WAL")
