@@ -99,7 +99,7 @@ class Worker(object):
         self.cache_hits = 0
         self.failed = 0
         self._stop = threading.Event()
-        self._current_claim: Optional[Claim] = None
+        self._current_claim: Optional[Claim] = None  # guarded-by: _claim_lock
         self._claim_lock = threading.Lock()
 
     # -- heartbeat -----------------------------------------------------
