@@ -35,16 +35,17 @@ class CurveCache(object):
     """
 
     def __init__(self) -> None:
-        self._curves: Dict[CurveKey, Dict[int, Optional[float]]] = {}
+        self._curves: Dict[CurveKey, Dict[int, Optional[float]]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evaluations = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evaluations = 0  # guarded-by: _lock
 
     def __repr__(self) -> str:
-        return "<CurveCache curves=%d hits=%d misses=%d>" % (
-            len(self._curves), self.hits, self.misses,
-        )
+        with self._lock:
+            return "<CurveCache curves=%d hits=%d misses=%d>" % (
+                len(self._curves), self.hits, self.misses,
+            )
 
     def lookup(self, key: CurveKey, sizes: Sequence[int]) -> Tuple[Dict[int, Optional[float]], List[int]]:
         """Split ``sizes`` into known points and missing ones.
