@@ -108,7 +108,7 @@ class JobTelemetry:
     evaluation — so exports distinguish computed from simulated.
     """
 
-    job: MeasurementJob
+    job: MeasurementJob  # schema: external - keyed by the job in telemetry maps
     executor: str
     cache_hit: bool
     wall_seconds: Optional[float]
@@ -116,6 +116,9 @@ class JobTelemetry:
     engine: str = "event"
 
     def to_dict(self) -> dict:
+        """Export form.  ``job`` is deliberately absent: telemetry is
+        stored and exported in mappings keyed by the job, so embedding
+        it would duplicate every job in every export row."""
         return {
             "executor": self.executor,
             "cache_hit": self.cache_hit,
@@ -123,6 +126,20 @@ class JobTelemetry:
             "attempts": self.attempts,
             "engine": self.engine,
         }
+
+    @classmethod
+    def from_dict(cls, job: MeasurementJob, data: dict) -> "JobTelemetry":
+        """Rebuild a record from its export row plus the job it was
+        keyed under (the inverse of a ``{job: record.to_dict()}``
+        mapping entry)."""
+        return cls(
+            job=job,
+            executor=data["executor"],
+            cache_hit=bool(data["cache_hit"]),
+            wall_seconds=data["wall_seconds"],
+            attempts=int(data["attempts"]),
+            engine=data.get("engine", "event"),
+        )
 
 
 class RunHandle(object):
