@@ -1,0 +1,17 @@
+"""Known-bad: dict-order-dependent iteration in key builders.
+
+Lives *outside* the scoped dirs on purpose: key-ordering applies
+anywhere in the tree.
+"""
+
+import json
+
+
+def build_cache_key(payload):
+    return json.dumps(payload)
+
+
+def hash_params(params, digest):
+    for name, value in params.items():
+        digest.update(("%s=%r" % (name, value)).encode())
+    return digest.hexdigest()

@@ -1,0 +1,18 @@
+"""Known-good: order-independent key builders."""
+
+import json
+
+
+def build_cache_key(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def hash_params(params, digest):
+    for name, value in sorted(params.items()):
+        digest.update(("%s=%r" % (name, value)).encode())
+    return digest.hexdigest()
+
+
+def render_rows(table):
+    # Not a key/hash builder: unsorted iteration here is fine.
+    return [str(row) for row in table.items()]

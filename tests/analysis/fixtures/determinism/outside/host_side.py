@@ -1,0 +1,12 @@
+"""Known-good: wall-clock and entropy are fine *outside* the scoped
+trees (this is host-side instrumentation territory)."""
+
+import random
+import time
+
+
+def measure(callback):
+    started = time.time()
+    shuffle_seed = random.random()
+    callback()
+    return time.time() - started, shuffle_seed

@@ -1,0 +1,15 @@
+"""Known-bad: ambient entropy inside a scoped (sim/) tree."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def draw_everything():
+    jitter = random.random()
+    noise = np.random.default_rng(42)
+    token = uuid.uuid4()
+    raw = os.urandom(8)
+    return jitter, noise, token, raw

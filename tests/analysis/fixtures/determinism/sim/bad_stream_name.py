@@ -1,0 +1,9 @@
+"""Known-bad: stream names outside the STREAM_NAMES registry."""
+
+
+def attach(streams, rank, name):
+    rogue = streams.stream("unregistered.noise")
+    rogue_family = streams.numpy_stream("rogue.rank%d" % rank)
+    opaque = streams.fresh_numpy_stream(name)
+    opaque_fstring = streams.stream(f"{name}.suffix")
+    return rogue, rogue_family, opaque, opaque_fstring

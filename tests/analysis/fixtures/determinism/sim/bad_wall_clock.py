@@ -1,0 +1,12 @@
+"""Known-bad: host wall-clock reads inside a scoped (sim/) tree."""
+
+import datetime
+import time
+from time import monotonic as clock
+
+
+def stamp_events(events):
+    started = time.time()
+    today = datetime.datetime.now()
+    tick = clock()
+    return started, today, tick

@@ -1,0 +1,9 @@
+"""Known-good: registered stream names, simulated time only."""
+
+
+def attach(streams, env, rank):
+    backoff = streams.stream("ethernet.backoff")
+    samples = streams.numpy_stream("mc.rank%d" % rank)
+    keys = streams.fresh_numpy_stream(f"psrs.keys.rank{rank}")
+    now = env.now
+    return backoff, samples, keys, now

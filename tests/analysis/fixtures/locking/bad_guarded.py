@@ -1,0 +1,18 @@
+"""Known-bad: guarded fields touched outside their lock."""
+
+import threading
+
+
+class Counter(object):
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self._pending = []  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1  # unlocked write
+
+    def snapshot(self):
+        with self._lock:
+            count = self.count
+        return count, list(self._pending)  # second read escaped the lock

@@ -1,0 +1,10 @@
+"""Known-bad: the annotation names a lock the class never creates
+(e.g. the lock was renamed but the annotation was not)."""
+
+import threading
+
+
+class Renamed(object):
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self.state = {}  # guarded-by: _lock

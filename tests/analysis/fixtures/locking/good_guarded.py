@@ -1,0 +1,28 @@
+"""Known-good: every guarded access is under the lock or in a
+*_locked helper (called with the lock held)."""
+
+import threading
+
+
+class Counter(object):
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self._pending = []  # guarded-by: _lock
+        self.label = "counter"  # unguarded on purpose: immutable after init
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self._drain_locked()
+
+    def _drain_locked(self):
+        while self._pending:
+            self._pending.pop()
+
+    def describe(self):
+        return self.label
+
+    def snapshot(self):
+        with self._lock:
+            return self.count, list(self._pending)

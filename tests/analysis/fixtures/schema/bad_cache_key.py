@@ -1,0 +1,15 @@
+"""Known-bad: the cache-key payload drifted from the field set."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeasurementJob(object):
+    kind: str
+    tool: str
+    seed: int
+
+    def to_dict(self):
+        data = {"kind": self.kind, "tool": self.tool}  # seed missing
+        data["flavor"] = "vanilla"  # ghost key: not a field
+        return data

@@ -1,0 +1,22 @@
+"""Known-bad: one event class unenrolled, one ghost enrolled."""
+
+
+class RunEvent(object):
+    type = "event"
+
+
+class JobStarted(RunEvent):
+    type = "job-started"
+
+
+class JobFinished(RunEvent):
+    type = "job-finished"
+
+
+class Forgotten(RunEvent):
+    type = "forgotten"
+
+
+JobVanished = dict  # not an event class
+
+EVENT_TYPES = {cls.type: cls for cls in (JobStarted, JobFinished, JobVanished)}

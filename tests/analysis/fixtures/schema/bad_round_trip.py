@@ -1,0 +1,18 @@
+"""Known-bad: a field each side of the round-trip forgot."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Record(object):
+    name: str
+    retries: int
+    timeout: float
+
+    def to_dict(self):
+        return {"name": self.name, "timeout": self.timeout}  # retries lost
+
+    @classmethod
+    def from_dict(cls, data):
+        # timeout is never read back (hardcoded positionally).
+        return cls(data["name"], data.get("retries", 0), 1.0)

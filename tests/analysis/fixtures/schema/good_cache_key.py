@@ -1,0 +1,17 @@
+"""Known-good: payload keys == fields, with conditional elision."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeasurementJob(object):
+    kind: str
+    tool: str
+    seed: int
+    noise: float
+
+    def to_dict(self):
+        data = {"kind": self.kind, "tool": self.tool, "seed": self.seed}
+        if self.noise:
+            data["noise"] = self.noise  # elided when falsy; key still appears
+        return data

@@ -1,0 +1,16 @@
+"""Known-good: every event class is enrolled, nothing else is."""
+
+
+class RunEvent(object):
+    type = "event"
+
+
+class JobStarted(RunEvent):
+    type = "job-started"
+
+
+class JobFinished(RunEvent):
+    type = "job-finished"
+
+
+EVENT_TYPES = {cls.type: cls for cls in (JobStarted, JobFinished)}

@@ -1,0 +1,17 @@
+"""Known-good: full round-trip, one field documented as external."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Record(object):
+    key: str  # schema: external - carried as the mapping key
+    name: str
+    retries: int
+
+    def to_dict(self):
+        return {"name": self.name, "retries": self.retries}
+
+    @classmethod
+    def from_dict(cls, key, data):
+        return cls(key=key, name=data["name"], retries=data["retries"])

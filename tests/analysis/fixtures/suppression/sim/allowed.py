@@ -1,0 +1,14 @@
+"""Fixture: a deliberate violation under an allow comment, plus a
+stale allow comment that matches nothing."""
+
+import time
+
+
+def instrumented():
+    # Sanctioned: pretend this is genuinely host-side instrumentation.
+    started = time.time()  # repro: allow[determinism.wall-clock]
+    return started
+
+
+def clean():
+    return 42  # repro: allow[determinism.entropy]

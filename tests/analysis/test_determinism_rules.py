@@ -1,0 +1,92 @@
+"""The determinism pack against its known-good/known-bad fixtures."""
+
+import os
+
+from repro.analysis import run_checks, select_rules
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "determinism")
+SRC = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+)
+
+
+def check(rule_id, *parts):
+    return run_checks(
+        [os.path.join(FIXTURES, *parts)], select_rules([rule_id])
+    ).findings
+
+
+class TestWallClock:
+    def test_flags_every_host_clock_read_in_scope(self):
+        findings = check("determinism.wall-clock", "sim", "bad_wall_clock.py")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 3
+        assert any("time.time()" in message for message in messages)
+        assert any("datetime.datetime.now()" in message for message in messages)
+        # from time import monotonic as clock — alias resolved.
+        assert any("time.monotonic()" in message for message in messages)
+
+    def test_out_of_scope_files_are_exempt(self):
+        assert check("determinism.wall-clock", "outside", "host_side.py") == []
+
+
+class TestEntropy:
+    def test_flags_random_numpy_uuid_urandom(self):
+        findings = check("determinism.entropy", "sim", "bad_entropy.py")
+        names = {finding.message.split("(")[0] for finding in findings}
+        assert names == {
+            "random.random", "numpy.random.default_rng",
+            "uuid.uuid4", "os.urandom",
+        }
+
+    def test_out_of_scope_files_are_exempt(self):
+        assert check("determinism.entropy", "outside", "host_side.py") == []
+
+    def test_rng_module_suppressions_are_exact(self):
+        # The sanctioned construction sites in sim/rng.py are allowed;
+        # nothing else there fires and no suppression is stale.
+        report = run_checks(
+            [os.path.join(SRC, "sim", "rng.py")],
+            select_rules(["determinism"]),
+        )
+        assert report.findings == []
+
+
+class TestStreamName:
+    def test_flags_unregistered_and_dynamic_names(self):
+        findings = check("determinism.stream-name", "sim", "bad_stream_name.py")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 4
+        assert any("'unregistered.noise'" in message for message in messages)
+        assert any("'rogue.rank<dynamic>'" in message for message in messages)
+        # Both the bare-name argument and the f-string whose *head* is
+        # an interpolation are non-static.
+        assert sum("not a static string" in m for m in messages) == 2
+
+    def test_registered_names_and_rank_families_pass(self):
+        assert check("determinism.stream-name", "sim", "good_streams.py") == []
+
+    def test_every_name_used_in_src_is_registered(self):
+        report = run_checks(
+            [SRC], select_rules(["determinism.stream-name"]),
+        )
+        assert report.findings == []
+
+
+class TestKeyOrdering:
+    def test_flags_unsorted_dumps_and_items_in_key_builders(self):
+        findings = check("determinism.key-ordering", "bad_key_ordering.py")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("sort_keys" in message for message in messages)
+        assert any(".items()" in message for message in messages)
+
+    def test_sorted_builders_and_non_key_functions_pass(self):
+        assert check("determinism.key-ordering", "good_key_ordering.py") == []
+
+    def test_applies_outside_scoped_dirs(self):
+        # Unlike the other determinism rules, key-ordering follows the
+        # function name, not the path: the bad fixture lives outside
+        # sim/ and still fires (asserted above); double-check scope.
+        findings = check("determinism.key-ordering", "bad_key_ordering.py")
+        assert all("sim" not in finding.path.split(os.sep) for finding in findings)

@@ -1,0 +1,141 @@
+"""Engine behavior: suppressions, selection, walking, JSON output."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import (
+    all_rules,
+    findings_to_json,
+    iter_python_files,
+    run_checks,
+    select_rules,
+)
+from repro.analysis.engine import SYNTAX_ERROR, UNUSED_SUPPRESSION
+from repro.errors import EvaluationError
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+class TestRuleSelection:
+    def test_all_rules_have_unique_pack_qualified_ids(self):
+        rules = all_rules()
+        ids = [rule.id for rule in rules]
+        assert len(ids) == len(set(ids))
+        assert all("." in rule_id for rule_id in ids)
+        packs = {rule_id.split(".")[0] for rule_id in ids}
+        assert packs == {"determinism", "locking", "schema"}
+
+    def test_pack_prefix_selects_the_whole_pack(self):
+        selected = select_rules(["determinism"])
+        assert [rule.id for rule in selected] == [
+            rule.id for rule in all_rules()
+            if rule.id.startswith("determinism.")
+        ]
+
+    def test_exact_id_selects_one_rule(self):
+        selected = select_rules(["locking.guarded-field"])
+        assert [rule.id for rule in selected] == ["locking.guarded-field"]
+
+    def test_duplicate_selectors_do_not_duplicate_rules(self):
+        selected = select_rules(["determinism", "determinism.entropy"])
+        ids = [rule.id for rule in selected]
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_selector_raises_naming_available_rules(self):
+        with pytest.raises(EvaluationError, match="determinism.wall-clock"):
+            select_rules(["determinizm"])
+
+
+class TestFileWalking:
+    def test_missing_path_raises_instead_of_reporting_clean(self):
+        with pytest.raises(EvaluationError, match="no-such-dir"):
+            list(iter_python_files([fixture("no-such-dir")]))
+
+    def test_walk_is_sorted_and_deduplicated(self):
+        twice = list(iter_python_files([FIXTURES, FIXTURES]))
+        once = list(iter_python_files([FIXTURES]))
+        assert twice == once == sorted(once)
+        assert len(once) >= 10
+
+    def test_single_file_path_is_accepted(self):
+        path = fixture("locking", "good_guarded.py")
+        assert list(iter_python_files([path])) == [path]
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        bad = tmp_path / "torn.py"
+        bad.write_text("def broken(:\n")
+        report = run_checks([str(bad)])
+        assert [finding.rule for finding in report.findings] == [SYNTAX_ERROR]
+        assert not report.clean
+
+
+class TestSuppressions:
+    def test_allow_comment_suppresses_exactly_its_line_and_rule(self):
+        report = run_checks(
+            [fixture("suppression", "sim", "allowed.py")],
+            select_rules(["determinism.wall-clock"]),
+        )
+        # The time.time() call is allowed; nothing else fires.
+        assert report.findings == []
+
+    def test_stale_allow_comment_is_reported(self):
+        report = run_checks([fixture("suppression", "sim", "allowed.py")])
+        assert [finding.rule for finding in report.findings] == [
+            UNUSED_SUPPRESSION
+        ]
+        finding = report.findings[0]
+        assert "determinism.entropy" in finding.message
+        assert finding.path.endswith("allowed.py")
+
+    def test_rule_filter_does_not_misreport_other_packs_suppressions(self):
+        # Bisecting with --rule locking must not flag the (used)
+        # wall-clock suppression or the (stale) entropy one.
+        report = run_checks(
+            [fixture("suppression", "sim", "allowed.py")],
+            select_rules(["locking"]),
+        )
+        assert report.findings == []
+
+    def test_string_literal_mentioning_allow_is_not_a_suppression(self, tmp_path):
+        snippet = tmp_path / "docs.py"
+        snippet.write_text(
+            'HELP = "suppress with # repro: allow[determinism.entropy]"\n'
+        )
+        report = run_checks([str(snippet)])
+        assert report.findings == []
+
+
+class TestJsonOutput:
+    def test_schema_of_a_red_report(self):
+        report = run_checks(
+            [fixture("locking", "bad_guarded.py")],
+            select_rules(["locking"]),
+        )
+        payload = json.loads(findings_to_json(report))
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        assert payload["rules_run"] == [
+            "locking.guarded-field", "locking.unknown-guard",
+        ]
+        assert payload["findings"]
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "message", "hint"}
+            assert isinstance(finding["line"], int) and finding["line"] > 0
+
+    def test_schema_of_a_clean_report(self):
+        report = run_checks([fixture("locking", "good_guarded.py")])
+        payload = json.loads(findings_to_json(report))
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+
+    def test_findings_sorted_by_path_line_rule(self):
+        report = run_checks([FIXTURES])
+        keys = [(f.path, f.line, f.rule) for f in report.findings]
+        assert keys == sorted(keys)

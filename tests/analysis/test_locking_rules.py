@@ -1,0 +1,96 @@
+"""The locking pack against its known-good/known-bad fixtures."""
+
+import os
+import textwrap
+
+from repro.analysis import run_checks, select_rules
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "locking")
+
+
+def check(rule_id, name):
+    return run_checks(
+        [os.path.join(FIXTURES, name)], select_rules([rule_id])
+    ).findings
+
+
+def check_snippet(tmp_path, source, rule_id="locking.guarded-field"):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source))
+    return run_checks([str(path)], select_rules([rule_id])).findings
+
+
+class TestGuardedField:
+    def test_flags_unlocked_write_and_escaped_read(self):
+        findings = check("locking.guarded-field", "bad_guarded.py")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("Counter.bump touches self.count" in m for m in messages)
+        assert any(
+            "Counter.snapshot touches self._pending" in m for m in messages
+        )
+
+    def test_locked_accesses_and_locked_helpers_pass(self):
+        assert check("locking.guarded-field", "good_guarded.py") == []
+
+    def test_unannotated_fields_are_not_policed(self, tmp_path):
+        findings = check_snippet(tmp_path, """\
+            class Free(object):
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """)
+        assert findings == []
+
+    def test_construction_methods_are_exempt(self, tmp_path):
+        findings = check_snippet(tmp_path, """\
+            import threading
+
+            class Built(object):
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.state = {}  # guarded-by: _lock
+                    self.state["warm"] = True
+            """)
+        assert findings == []
+
+    def test_nested_with_blocks_propagate_the_held_lock(self, tmp_path):
+        findings = check_snippet(tmp_path, """\
+            import threading
+
+            class Nested(object):
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []  # guarded-by: _lock
+
+                def drain(self, out):
+                    with self._lock:
+                        with open("log") as handle:
+                            for item in self.items:
+                                handle.write(str(item))
+            """)
+        assert findings == []
+
+    def test_guarded_by_inside_a_string_is_not_an_annotation(self, tmp_path):
+        findings = check_snippet(tmp_path, """\
+            class Doc(object):
+                def __init__(self):
+                    self.note = "fields use '# guarded-by: _lock' comments"
+
+                def read(self):
+                    return self.note
+            """)
+        assert findings == []
+
+
+class TestUnknownGuard:
+    def test_flags_guard_the_class_never_creates(self):
+        findings = check("locking.unknown-guard", "bad_unknown_guard.py")
+        assert len(findings) == 1
+        assert "'_lock'" in findings[0].message
+        assert "Renamed.state" in findings[0].message
+
+    def test_existing_guard_passes(self):
+        assert check("locking.unknown-guard", "good_guarded.py") == []

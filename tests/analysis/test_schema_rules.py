@@ -1,0 +1,51 @@
+"""The schema pack against its known-good/known-bad fixtures."""
+
+import os
+
+from repro.analysis import run_checks, select_rules
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "schema")
+
+
+def check(rule_id, name):
+    return run_checks(
+        [os.path.join(FIXTURES, name)], select_rules([rule_id])
+    ).findings
+
+
+class TestEventRegistry:
+    def test_flags_unenrolled_event_and_ghost_entry(self):
+        findings = check("schema.event-registry", "bad_event_registry.py")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("Forgotten" in m and "not enrolled" in m for m in messages)
+        assert any("'JobVanished'" in m for m in messages)
+
+    def test_complete_registry_passes(self):
+        assert check("schema.event-registry", "good_event_registry.py") == []
+
+
+class TestDictRoundTrip:
+    def test_flags_each_side_that_forgot_a_field(self):
+        findings = check("schema.dict-round-trip", "bad_round_trip.py")
+        messages = sorted(finding.message for finding in findings)
+        assert messages == [
+            "Record.retries is never handled by to_dict()",
+            "Record.timeout is never handled by from_dict()",
+        ]
+
+    def test_full_round_trip_with_external_field_passes(self):
+        assert check("schema.dict-round-trip", "good_round_trip.py") == []
+
+
+class TestCacheKeyFields:
+    def test_flags_missing_field_and_ghost_key(self):
+        findings = check("schema.cache-key-fields", "bad_cache_key.py")
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("MeasurementJob.seed never reaches to_dict" in m
+                   for m in messages)
+        assert any("'flavor'" in m for m in messages)
+
+    def test_exact_payload_with_conditional_elision_passes(self):
+        assert check("schema.cache-key-fields", "good_cache_key.py") == []
