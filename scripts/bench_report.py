@@ -102,6 +102,17 @@ def main(argv=None):
     with open(args.baseline) as handle:
         baseline = json.load(handle)
 
+    # Both files must be benchmark reports — an object with a
+    # "metrics" mapping.  Diffing something else (a results export, a
+    # truncated file) would flatten to zero shared paths and read as
+    # "no regressions"; fail loudly instead.
+    for path, data in ((args.current, current), (args.baseline, baseline)):
+        if not isinstance(data, dict) or not isinstance(data.get("metrics"), dict):
+            print("error: %s is not a benchmark report (no 'metrics' "
+                  "mapping); expected a BENCH_*.json written by the "
+                  "benchmark scripts" % path)
+            return 2
+
     # The benchmark scripts stamp every report with the interpreter and
     # machine that produced it.  A cross-environment diff still runs —
     # ratio metrics survive the move — but raw wall-times do not
@@ -127,9 +138,27 @@ def main(argv=None):
     seen_paths = {path for path, *_ in rows}
     unknown = set(strict_metrics) - seen_paths
     if unknown:
-        # A typo'd strict metric would silently enforce nothing.
-        print("--strict-metric paths not found in the shared metrics: %s"
-              % ", ".join(sorted(unknown)))
+        # A typo'd strict metric would silently enforce nothing — but
+        # say *why* each path is missing: "the baseline predates this
+        # metric" has a different fix (regenerate the baseline) than
+        # "no run ever produced it" (fix the spelling).
+        current_paths = set(flatten((), current, {}))
+        baseline_paths = set(flatten((), baseline, {}))
+        for path in sorted(unknown):
+            if path in current_paths and path not in baseline_paths:
+                print("--strict-metric %s: the baseline predates this "
+                      "metric (present in %s, absent from %s) — "
+                      "regenerate the baseline to start enforcing it"
+                      % (path, args.current, args.baseline))
+            elif path in baseline_paths and path not in current_paths:
+                print("--strict-metric %s: this run did not produce the "
+                      "metric (present in the baseline, absent from %s) "
+                      "— the benchmark may be broken or renamed"
+                      % (path, args.current))
+            else:
+                print("--strict-metric %s: no such metric in either "
+                      "report (typo?); shared metrics: %s"
+                      % (path, ", ".join(sorted(seen_paths))))
         return 2
 
     width = max(len(path) for path, *_ in rows)

@@ -1,0 +1,102 @@
+"""bench_report.py input validation and strict-metric diagnostics."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), "..", "..", "scripts", "bench_report.py"
+))
+_spec = importlib.util.spec_from_file_location("bench_report", _SCRIPT)
+bench_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_report)
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def report(**metrics):
+    return {"benchmark": "kernel", "metrics": metrics}
+
+
+@pytest.fixture
+def files(tmp_path):
+    def build(current, baseline):
+        return (write(tmp_path, "current.json", current),
+                write(tmp_path, "baseline.json", baseline))
+    return build
+
+
+class TestMetricsKeyValidation:
+    def test_current_without_metrics_mapping_exits_2(self, files, capsys):
+        current, baseline = files({"results": []}, report(a={"speedup": 2.0}))
+        assert bench_report.main([current, "--baseline", baseline]) == 2
+        out = capsys.readouterr().out
+        assert "not a benchmark report" in out
+        assert "current.json" in out
+
+    def test_baseline_without_metrics_mapping_exits_2(self, files, capsys):
+        current, baseline = files(report(a={"speedup": 2.0}), {"metrics": 3})
+        assert bench_report.main([current, "--baseline", baseline]) == 2
+        assert "baseline.json" in capsys.readouterr().out
+
+
+class TestStrictMetricDiagnostics:
+    def test_baseline_predating_a_metric_says_regenerate(self, files, capsys):
+        current, baseline = files(
+            report(old={"speedup": 2.0}, new={"speedup": 3.0}),
+            report(old={"speedup": 2.0}),
+        )
+        code = bench_report.main([
+            current, "--baseline", baseline,
+            "--strict-metric", "metrics.new.speedup",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "baseline predates this metric" in out
+        assert "regenerate the baseline" in out
+
+    def test_metric_missing_from_current_run_says_broken(self, files, capsys):
+        current, baseline = files(
+            report(old={"speedup": 2.0}),
+            report(old={"speedup": 2.0}, gone={"speedup": 3.0}),
+        )
+        code = bench_report.main([
+            current, "--baseline", baseline,
+            "--strict-metric", "metrics.gone.speedup",
+        ])
+        assert code == 2
+        assert "did not produce the metric" in capsys.readouterr().out
+
+    def test_metric_in_neither_report_says_typo(self, files, capsys):
+        current, baseline = files(
+            report(old={"speedup": 2.0}), report(old={"speedup": 2.0}),
+        )
+        code = bench_report.main([
+            current, "--baseline", baseline,
+            "--strict-metric", "metrics.old.speedpu",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "typo?" in out
+        assert "metrics.old.speedup" in out  # names what IS available
+
+
+class TestHappyPath:
+    def test_enforced_floor_passes_and_fails(self, files, capsys):
+        current, baseline = files(
+            report(k={"speedup": 1.9}), report(k={"speedup": 2.0}),
+        )
+        args = [current, "--baseline", baseline,
+                "--strict-metric", "metrics.k.speedup=0.2"]
+        assert bench_report.main(args) == 0
+        capsys.readouterr()
+        tight = [current, "--baseline", baseline,
+                 "--strict-metric", "metrics.k.speedup=0.01"]
+        assert bench_report.main(tight) == 1
+        assert "failed their floor" in capsys.readouterr().out
