@@ -11,18 +11,30 @@ ratio-style metrics (a speedup measured against a reference on the
 warning.  The optional per-metric ``=TOL`` sets how far below
 baseline the floor sits (ratio metrics still shift somewhat across
 interpreter versions and CPUs, so the floor should encode the real
-invariant, not the baseline machine's exact number).  Usage::
+invariant, not the baseline machine's exact number).
+
+``--tolerances FILE`` reads the same floors from a committed table
+(``benchmarks/data/bench_tolerances.json``) keyed by the report's
+``benchmark`` stamp, so CI enforces one reviewed policy instead of
+flags scattered across workflow steps; explicit ``--strict-metric``
+flags override the table per path.  ``--history-db PATH`` additionally
+appends the current report to a run-history database (see ``repro
+history --help``), putting the perf trajectory and the evaluation
+history in one queryable place.  Usage::
 
     python scripts/bench_report.py BENCH_kernel.json \
         --baseline benchmarks/data/BENCH_kernel_baseline.json \
         [--tolerance 0.25] [--strict] \
-        [--strict-metric metrics.ethernet_fastpath.speedup=0.8]
+        [--tolerances benchmarks/data/bench_tolerances.json] \
+        [--strict-metric metrics.ethernet_fastpath.speedup=0.8] \
+        [--history-db history.db]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: Metric paths where *larger* is better; everything else numeric is a
@@ -90,6 +102,15 @@ def main(argv=None):
                              "an optional =TOL overrides --tolerance for "
                              "that metric alone (e.g. PATH=0.8 tolerates "
                              "an 80%% drop before failing); repeatable")
+    parser.add_argument("--tolerances", metavar="FILE", default=None,
+                        help="committed tolerance table mapping each "
+                             "report's 'benchmark' stamp to its strict "
+                             "metric floors ({\"kernel\": {PATH: TOL}}); "
+                             "--strict-metric overrides it per path")
+    parser.add_argument("--history-db", metavar="PATH", default=None,
+                        help="also append the current report to this "
+                             "run-history database (repro history trend "
+                             "reads it back)")
     args = parser.parse_args(argv)
 
     strict_metrics = {}
@@ -111,6 +132,56 @@ def main(argv=None):
             print("error: %s is not a benchmark report (no 'metrics' "
                   "mapping); expected a BENCH_*.json written by the "
                   "benchmark scripts" % path)
+            return 2
+
+    if args.tolerances:
+        try:
+            with open(args.tolerances) as handle:
+                table = json.load(handle)
+        except (OSError, ValueError) as error:
+            print("error: cannot read tolerance table %s (%s)"
+                  % (args.tolerances, error))
+            return 2
+        if isinstance(table, dict):
+            # "_"-prefixed keys are commentary (the table documents its
+            # own policy in a "__doc__" entry), not benchmark stamps.
+            table = {stamp: floors for stamp, floors in table.items()
+                     if not stamp.startswith("_")}
+        stamp = current.get("benchmark")
+        entry = table.get(stamp) if isinstance(table, dict) else None
+        if not isinstance(table, dict) or not all(
+            isinstance(floors, dict) for floors in table.values()
+        ):
+            print("error: %s must map benchmark stamps to {metric: "
+                  "tolerance} objects" % args.tolerances)
+            return 2
+        if entry is None:
+            # An unlisted benchmark is a policy gap, not a failure:
+            # the report still compares, nothing extra is enforced.
+            print("warning: %s has no entry for benchmark %r; no strict "
+                  "floors enforced from the table"
+                  % (args.tolerances, stamp))
+        else:
+            for path, tol in sorted(entry.items()):
+                strict_metrics.setdefault(path, float(tol))
+
+    if args.history_db:
+        try:
+            try:
+                from repro.history import HistoryStore, current_git_sha
+            except ImportError:
+                # Standalone invocation without PYTHONPATH: the script
+                # lives in <repo>/scripts, the package in <repo>/src.
+                sys.path.insert(0, os.path.join(
+                    os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+                from repro.history import HistoryStore, current_git_sha
+            with HistoryStore(args.history_db) as history:
+                run_id = history.record_bench(
+                    current, source="bench", git_sha=current_git_sha())
+            print("recorded bench run %s in %s" % (run_id, args.history_db))
+        except Exception as error:  # noqa: BLE001 - report and fail loudly
+            print("error: cannot record history in %s (%s)"
+                  % (args.history_db, error))
             return 2
 
     # The benchmark scripts stamp every report with the interpreter and

@@ -65,6 +65,8 @@ def run_evaluation(
     echo: bool = False,
     on_event=None,
     engine: str = "event",
+    history_db: Optional[str] = None,
+    history_label: Optional[str] = None,
 ):
     """Run an evaluation spec through the scheduler.
 
@@ -105,6 +107,12 @@ def run_evaluation(
         in :mod:`repro.analytic` (raising on ineligible jobs);
         ``"auto"`` answers eligible misses analytically and simulates
         the rest.  Telemetry marks each sample's engine.
+    history_db:
+        Optional path to a run-history database
+        (:class:`~repro.history.HistoryStore`): the finished run is
+        appended there — full export plus git SHA and provenance — so
+        ``repro history diff/gate`` can compare it against earlier
+        recordings.  ``history_label`` names the recorded run.
 
     Returns
     -------
@@ -125,4 +133,12 @@ def run_evaluation(
         result_set = scheduler.run(spec, on_event=on_event)
     if echo:
         print(result_set.comparison(stats=stats))
+    if history_db is not None:
+        from repro.history import HistoryStore, current_git_sha
+
+        with HistoryStore(history_db) as history:
+            history.record_result(
+                result_set.to_dict(), label=history_label, source="api",
+                git_sha=current_git_sha(),
+            )
     return result_set

@@ -10,6 +10,8 @@ Usage::
     python -m repro usability
     python -m repro serve --port 8765 --db runs.db --cache-dir .repro-cache
     python -m repro check src/ --format json
+    python -m repro evaluate --seeds 0 1 2 --history-db history.db
+    python -m repro history gate --db history.db latest~1 latest
 """
 
 from __future__ import annotations
@@ -194,6 +196,12 @@ distributed execution:
     evaluate.add_argument("--json", metavar="PATH", default=None,
                           help="write samples, scores, statistics and "
                                "telemetry to a JSON file")
+    evaluate.add_argument("--history-db", metavar="PATH", default=None,
+                          help="append this run to a persistent run-history "
+                               "database (see `repro history --help`)")
+    evaluate.add_argument("--history-label", metavar="NAME", default=None,
+                          help="label the recorded run carries in "
+                               "`repro history list`")
 
     worker = sub.add_parser(
         "worker",
@@ -393,6 +401,152 @@ evaluation as a service:
     serve.add_argument("--user-limit", type=int, default=2,
                        help="concurrent runs per X-User identity; "
                             "further submissions queue FIFO (default 2)")
+    serve.add_argument("--history-db", metavar="PATH", default=None,
+                       help="append every completed run to this run-history "
+                            "database and expose GET /api/history/... "
+                            "(default: history disabled)")
+
+    history = sub.add_parser(
+        "history",
+        help="record, diff and rank evaluation runs over time",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+regression intelligence:
+  One SQLite database remembers every run you record — the full
+  results export plus spec hash, git SHA, timestamp and
+  noise/engine/backend provenance — and the subcommands read it back
+  as a trajectory instead of a snapshot.
+
+  Runs are addressed by id, by any unique id prefix, or relatively:
+  `latest` is the newest recorded run and `latest~1` the one before
+  it, so the canonical CI gate needs no bookkeeping:
+
+    repro evaluate --seeds 0 1 2 --history-db history.db
+    repro history diff --db history.db latest~1 latest
+    repro history gate --db history.db latest~1 latest
+
+  `diff` aligns two runs cell by cell — (platform, tool, primitive,
+  message size, processors) — and judges each delta with the same
+  Student-t machinery the reports use: a Welch two-sample confidence
+  interval decides *significant*, the tolerance table decides *worth
+  failing over*, and deterministic (single-seed, zero-spread) cells
+  degrade exactly (±0 interval: any movement is real).  `diff` is
+  informational and always exits 0; `gate` applies the same verdicts
+  as policy and exits 1 on regression — that pair is the CI contract.
+
+  `leaderboard` re-asks the paper's headline question — which tool
+  wins on this platform, under this weighting profile? — over the
+  last N recorded runs instead of one.  `trend` plots one cell family
+  (or one bench metric recorded via scripts/bench_report.py
+  --history-db) across runs, and `analyze` clusters failure patterns:
+  cells that regress in consecutive diffs, tools whose primitives are
+  structurally unmeasured, rankings whose confidence intervals
+  overlap too much to call.
+
+  The database schema is generation-stamped (PRAGMA user_version); a
+  database written by a different generation is refused, never
+  silently reinterpreted.
+
+exit status: 0 ok, 1 gate failure, 2 usage error / bad reference.
+""",
+    )
+    hsub = history.add_subparsers(dest="history_command")
+
+    def _history_sub(name, help_text):
+        sub_parser = hsub.add_parser(name, help=help_text)
+        sub_parser.add_argument("--db", metavar="PATH",
+                                default="repro-history.db",
+                                help="run-history database "
+                                     "(default repro-history.db)")
+        return sub_parser
+
+    record = _history_sub("record", "record a results export or "
+                                    "BENCH_*.json report")
+    record.add_argument("file", help="JSON file: a `repro evaluate --json` "
+                                     "export or a benchmark report")
+    record.add_argument("--label", default=None,
+                        help="label shown in `repro history list`")
+    record.add_argument("--source", default="cli",
+                        help="provenance tag (default cli)")
+
+    hist_list = _history_sub("list", "list recorded runs, newest first")
+    hist_list.add_argument("--kind", choices=("evaluation", "bench"),
+                           default=None, help="only this run kind")
+    hist_list.add_argument("--limit", type=int, default=20,
+                           help="show at most N runs (default 20)")
+
+    show = _history_sub("show", "show one recorded run")
+    show.add_argument("ref", help="run id, unique prefix, latest or latest~N")
+    show.add_argument("--json", action="store_true",
+                      help="print the full stored record as JSON")
+
+    def _diff_arguments(sub_parser):
+        sub_parser.add_argument("baseline",
+                                help="baseline run (id, prefix, latest~N)")
+        sub_parser.add_argument("current",
+                                help="candidate run (id, prefix, latest)")
+        sub_parser.add_argument("--tolerances", metavar="FILE", default=None,
+                                help="JSON tolerance table "
+                                     "({\"default\": f, \"kinds\": {...}})")
+        sub_parser.add_argument("--tolerance", type=float, default=None,
+                                metavar="FRACTION",
+                                help="flat relative tolerance overriding "
+                                     "the table's default")
+        sub_parser.add_argument("--confidence", type=float, default=0.95,
+                                help="CI level for significance "
+                                     "(default 0.95)")
+        sub_parser.add_argument("--json", action="store_true",
+                                help="print the machine-readable diff")
+
+    diff = _history_sub("diff", "align two runs cell-by-cell and judge "
+                                "every delta (informational; exits 0)")
+    _diff_arguments(diff)
+    diff.add_argument("--all", action="store_true",
+                      help="print unchanged cells too, not just movement")
+
+    leaderboard = _history_sub("leaderboard", "rank tools per "
+                                              "(platform, profile) over "
+                                              "the last N runs")
+    leaderboard.add_argument("--window", type=int, default=10,
+                             help="how many recent runs to rank over "
+                                  "(default 10)")
+    leaderboard.add_argument("--platform", default=None,
+                             help="only this platform's boards")
+    leaderboard.add_argument("--profile", default=None,
+                             help="only this profile's boards")
+    leaderboard.add_argument("--json", action="store_true",
+                             help="print the boards as JSON")
+
+    trend_cmd = _history_sub("trend", "one quantity's per-run series, "
+                                      "oldest first")
+    trend_cmd.add_argument("--metric", default=None, metavar="PATH",
+                           help="a recorded bench metric path (e.g. "
+                                "metrics.kernel_events_per_sec)")
+    trend_cmd.add_argument("--platform", default=None)
+    trend_cmd.add_argument("--tool", default=None)
+    trend_cmd.add_argument("--kind", default=None,
+                           help="sendrecv, broadcast, ring, global_sum or "
+                                "application")
+    trend_cmd.add_argument("--size", type=int, default=None,
+                           help="restrict to one message/vector size")
+    trend_cmd.add_argument("--limit", type=int, default=None,
+                           help="last N points only")
+    trend_cmd.add_argument("--json", action="store_true")
+
+    gate = _history_sub("gate", "fail (exit 1) when the candidate run "
+                                "regressed vs the baseline")
+    _diff_arguments(gate)
+    gate.add_argument("--max-regressions", type=int, default=0,
+                      help="regression cells tolerated before failing "
+                           "(default 0)")
+    gate.add_argument("--fail-on-removed", action="store_true",
+                      help="also fail when cells vanished from the grid")
+
+    analyze = _history_sub("analyze", "failure patterns and "
+                                      "recommendations over recent runs")
+    analyze.add_argument("--window", type=int, default=10,
+                         help="how many recent runs to analyze (default 10)")
+    analyze.add_argument("--json", action="store_true")
     return parser
 
 
@@ -539,7 +693,194 @@ def _cmd_evaluate(args) -> int:
             print("error: cannot write %s (%s)" % (args.json, error))
             return 2
         print("wrote %s" % args.json)
+    if args.history_db:
+        from repro.history import HistoryStore, current_git_sha
+
+        try:
+            with HistoryStore(args.history_db) as history:
+                run_id = history.record_result(
+                    result_set.to_dict(), label=args.history_label,
+                    source="cli", git_sha=current_git_sha(),
+                )
+        except (ReproError, OSError) as error:
+            print("error: cannot record history in %s (%s)"
+                  % (args.history_db, error))
+            return 2
+        print("recorded run %s in %s" % (run_id, args.history_db))
     return 0
+
+
+def _history_tolerances(args):
+    """The tolerance table a diff/gate invocation asked for."""
+    from repro.errors import HistoryError
+    from repro.history import Tolerances
+
+    if args.tolerances and args.tolerance is not None:
+        raise HistoryError("use either --tolerances or --tolerance, not both")
+    if args.tolerances:
+        return Tolerances.from_file(args.tolerances)
+    if args.tolerance is not None:
+        return Tolerances(default=args.tolerance)
+    return Tolerances()
+
+
+def _cmd_history(args) -> int:
+    import json as json_module
+    import time
+
+    from repro.errors import ReproError
+    from repro.history import (
+        HistoryStore,
+        analyze_history,
+        current_git_sha,
+        diff_runs,
+        leaderboards,
+        run_gate,
+        trend,
+    )
+
+    if args.history_command is None:
+        print("usage: repro history record|list|show|diff|leaderboard|"
+              "trend|gate|analyze (see `repro history --help`)")
+        return 2
+
+    def when(timestamp) -> str:
+        return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+
+    try:
+        with HistoryStore(args.db) as store:
+            if args.history_command == "record":
+                try:
+                    with open(args.file) as handle:
+                        payload = json_module.load(handle)
+                except (OSError, ValueError) as error:
+                    print("error: cannot read %s (%s)" % (args.file, error))
+                    return 2
+                if isinstance(payload, dict) and "spec" in payload:
+                    run_id = store.record_result(
+                        payload, label=args.label, source=args.source,
+                        git_sha=current_git_sha(),
+                    )
+                else:
+                    run_id = store.record_bench(
+                        payload, label=args.label, source=args.source,
+                        git_sha=current_git_sha(),
+                    )
+                print("recorded run %s in %s" % (run_id, args.db))
+                return 0
+
+            if args.history_command == "list":
+                runs = store.list_runs(kind=args.kind, limit=args.limit)
+                if not runs:
+                    print("no recorded runs in %s" % args.db)
+                    return 0
+                print("%-14s %-11s %-19s %-9s %-16s %s" % (
+                    "run", "kind", "recorded", "git", "label", "provenance"))
+                for run in runs:
+                    provenance = "%s noise=%g" % (run["source"], run["noise"])
+                    if run["engine"]:
+                        provenance += " engine=%s" % run["engine"]
+                    if run["backend"]:
+                        provenance += " backend=%s" % run["backend"]
+                    print("%-14s %-11s %-19s %-9s %-16s %s" % (
+                        run["run_id"], run["kind"], when(run["recorded_at"]),
+                        run["git_sha"] or "-", run["label"] or "-",
+                        provenance,
+                    ))
+                return 0
+
+            if args.history_command == "show":
+                record = store.get(store.resolve(args.ref))
+                if args.json:
+                    print(json_module.dumps(record, indent=2, sort_keys=True))
+                    return 0
+                print("run %s (%s)" % (record["run_id"], record["kind"]))
+                for key in ("label", "source", "git_sha", "spec_hash",
+                            "engine", "backend"):
+                    if record.get(key):
+                        print("  %-12s %s" % (key, record[key]))
+                print("  %-12s %s" % ("recorded", when(record["recorded_at"])))
+                if record["kind"] == "evaluation":
+                    samples = store.samples_for(record["run_id"])
+                    print("  %-12s %d rows over %d cells"
+                          % ("samples", len(samples),
+                             len(store.cells(record["run_id"]))))
+                    for row in store.scores_for([record["run_id"]]):
+                        print("  score %-12s %-10s %-10s %.3f ±%.3f (n=%d)"
+                              % (row["platform"], row["profile"], row["tool"],
+                                 row["mean"], row["stddev"], row["n"]))
+                else:
+                    from repro.history.store import flatten_metrics
+
+                    metrics = flatten_metrics(
+                        {"metrics": record["payload"]["metrics"]})
+                    for path, value in sorted(metrics.items()):
+                        print("  metric %-40s %.6g" % (path, value))
+                return 0
+
+            if args.history_command == "diff":
+                diff = diff_runs(
+                    store, args.baseline, args.current,
+                    tolerances=_history_tolerances(args),
+                    confidence=args.confidence,
+                )
+                print(json_module.dumps(diff.to_dict(), indent=2,
+                                        sort_keys=True)
+                      if args.json else diff.render(show_all=args.all))
+                return 0
+
+            if args.history_command == "leaderboard":
+                boards = leaderboards(
+                    store, window=args.window,
+                    platform=args.platform, profile=args.profile,
+                )
+                if args.json:
+                    print(json_module.dumps(
+                        [board.to_dict() for board in boards],
+                        indent=2, sort_keys=True))
+                elif not boards:
+                    print("no evaluation runs recorded in %s" % args.db)
+                else:
+                    print("\n\n".join(board.render() for board in boards))
+                return 0
+
+            if args.history_command == "trend":
+                series = trend(
+                    store, metric=args.metric, platform=args.platform,
+                    tool=args.tool, kind=args.kind, size=args.size,
+                    limit=args.limit,
+                )
+                print(json_module.dumps(series.to_dict(), indent=2,
+                                        sort_keys=True)
+                      if args.json else series.render())
+                return 0
+
+            if args.history_command == "gate":
+                verdict = run_gate(
+                    store, args.baseline, args.current,
+                    tolerances=_history_tolerances(args),
+                    confidence=args.confidence,
+                    max_regressions=args.max_regressions,
+                    fail_on_removed=args.fail_on_removed,
+                )
+                print(json_module.dumps(verdict.to_dict(), indent=2,
+                                        sort_keys=True)
+                      if args.json else verdict.render())
+                return verdict.exit_code
+
+            if args.history_command == "analyze":
+                analysis = analyze_history(store, window=args.window)
+                print(json_module.dumps(analysis.to_dict(), indent=2,
+                                        sort_keys=True)
+                      if args.json else analysis.render())
+                return 0
+    except ReproError as error:
+        print("error: %s" % error)
+        return 2
+    except OSError as error:
+        print("error: cannot open %s (%s)" % (args.db, error))
+        return 2
+    return 2  # pragma: no cover - argparse restricts the choices
 
 
 def _cmd_worker(args) -> int:
@@ -694,9 +1035,14 @@ def _cmd_serve(args) -> int:
         # first submitted run.
         scheduler_factory().executor.close()
 
+        history = None
+        if args.history_db:
+            from repro.history import HistoryStore
+
+            history = HistoryStore(args.history_db)
         registry = JobRegistry(
             store, scheduler_factory=scheduler_factory,
-            per_user_limit=args.user_limit,
+            per_user_limit=args.user_limit, history=history,
         )
         server = ServiceServer(registry, host=args.host, port=args.port)
     except ReproError as error:
@@ -741,6 +1087,8 @@ def _cmd_serve(args) -> int:
         return 2
     finally:
         store.close()
+        if history is not None:
+            history.close()
     print("service stopped; run history is in %s" % args.db)
     return 0
 
@@ -762,5 +1110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_usability()
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "history":
+        return _cmd_history(args)
     parser.print_help()
     return 0

@@ -19,6 +19,7 @@ __all__ = [
     "RunCancelled",
     "CalibrationError",
     "ServiceError",
+    "HistoryError",
     "validate_noise",
 ]
 
@@ -79,6 +80,17 @@ class ServiceError(ReproError):
     service client when the server answers with an error status — the
     server's message rides along, so remote misuse reads like local
     misuse.
+    """
+
+
+class HistoryError(ReproError):
+    """The run-history subsystem refused a request.
+
+    Raised by :class:`~repro.history.store.HistoryStore` and the diff/
+    leaderboard/gate layers on malformed exports, unknown or ambiguous
+    run references, and schema-version mismatches (a database written
+    by a different schema generation is refused, never silently
+    reinterpreted).
     """
 
 

@@ -1,0 +1,42 @@
+"""Regression intelligence: the persistent run-history subsystem.
+
+Every :class:`~repro.core.results.ResultSet` the repo produces is
+ephemeral — one process's view of one measurement pass.  This package
+is the memory on top: a :class:`HistoryStore` appends each run (full
+export JSON plus spec hash, git SHA, timestamp and provenance, with a
+denormalized ``samples`` table for SQL-side aggregation), the diff
+engine aligns two runs cell by cell and judges each delta with the
+multi-seed Student-t machinery from :mod:`repro.core.stats`, the
+analytics layer ranks tools and spots repeat offenders over the
+recorded history, and the gate turns a diff into a CI exit code.
+
+Surfaced as ``repro history record|list|show|diff|leaderboard|trend|
+gate``, as ``run_evaluation(history_db=...)`` / ``repro evaluate
+--history-db``, and as the service's ``GET /api/history/...`` read
+endpoints.
+"""
+
+from repro.history.analytics import HistoryAnalysis, TrendSeries, analyze_history, trend
+from repro.history.diff import CellDelta, RunDiff, Tolerances, diff_runs
+from repro.history.gate import GateVerdict, run_gate
+from repro.history.leaderboard import Leaderboard, LeaderboardRow, leaderboards
+from repro.history.store import SCHEMA_VERSION, HistoryStore, current_git_sha
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HistoryStore",
+    "current_git_sha",
+    "CellDelta",
+    "RunDiff",
+    "Tolerances",
+    "diff_runs",
+    "GateVerdict",
+    "run_gate",
+    "Leaderboard",
+    "LeaderboardRow",
+    "leaderboards",
+    "HistoryAnalysis",
+    "TrendSeries",
+    "analyze_history",
+    "trend",
+]

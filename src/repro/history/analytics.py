@@ -1,0 +1,253 @@
+"""History analytics: trends, failure patterns, recommendations.
+
+Where :mod:`repro.history.diff` compares two runs and
+:mod:`repro.history.leaderboard` ranks one window, this module reads
+the history *as a trajectory*:
+
+* :func:`trend` pulls one cell family's (or one bench metric's)
+  per-run series out of the store's SQL-side aggregates, oldest first,
+  and judges its direction;
+* :func:`analyze_history` walks consecutive run pairs to cluster
+  failure patterns — cells that regress repeatedly, tools whose
+  primitives are structurally unmeasured — and turns what it finds
+  into plain-text recommendations, in the spirit of evaluation
+  dashboards that pair a confusion matrix with "what to fix next".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import HistoryError
+from repro.history.diff import Tolerances, diff_cells
+from repro.history.leaderboard import Leaderboard, leaderboards
+
+__all__ = ["TrendSeries", "trend", "HistoryAnalysis", "analyze_history"]
+
+
+@dataclass(frozen=True)
+class TrendSeries:
+    """One quantity's per-run series, oldest first."""
+
+    label: str
+    unit: str                      # "seconds" or "value"
+    points: List[Dict] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[float]:
+        key = "mean_seconds" if self.unit == "seconds" else "value"
+        return [float(point[key]) for point in self.points]
+
+    def direction(self, tolerance: float = 0.02) -> str:
+        """``improving`` / ``regressing`` / ``flat`` / ``empty``.
+
+        First-vs-last relative movement against ``tolerance``; the
+        unit decides polarity (seconds regress upward, bench metric
+        values are reported raw as ``up``/``down`` since the gate's
+        tolerance table, not this summary, knows their polarity).
+        """
+        values = self.values
+        if len(values) < 2:
+            return "empty" if not values else "flat"
+        first, last = values[0], values[-1]
+        if first == 0:
+            moved = last != 0
+            upward = last > 0
+        else:
+            relative = (last - first) / abs(first)
+            moved = abs(relative) > tolerance
+            upward = relative > 0
+        if not moved:
+            return "flat"
+        if self.unit == "seconds":
+            return "regressing" if upward else "improving"
+        return "up" if upward else "down"
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "unit": self.unit,
+            "direction": self.direction(),
+            "points": list(self.points),
+        }
+
+    def render(self) -> str:
+        lines = ["%s (%s, %d point%s, %s)" % (
+            self.label, self.unit, len(self.points),
+            "" if len(self.points) == 1 else "s", self.direction(),
+        )]
+        key = "mean_seconds" if self.unit == "seconds" else "value"
+        for point in self.points:
+            lines.append("  %-14s %-10s %.6g" % (
+                point["run_id"], point.get("git_sha") or "-",
+                float(point[key]),
+            ))
+        return "\n".join(lines)
+
+
+def trend(
+    store,
+    metric: Optional[str] = None,
+    platform: Optional[str] = None,
+    tool: Optional[str] = None,
+    kind: Optional[str] = None,
+    size: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> TrendSeries:
+    """One trend series: either a bench ``metric`` path, or an
+    evaluation cell family named by ``platform``/``tool``/``kind``
+    (optionally one ``size``)."""
+    if metric is not None:
+        if platform or tool or kind or size is not None:
+            raise HistoryError(
+                "a metric trend and a sample trend are different queries — "
+                "pass either metric, or platform/tool/kind"
+            )
+        return TrendSeries(
+            label=metric, unit="value",
+            points=store.metric_trend(metric, limit=limit),
+        )
+    if not (platform and tool and kind):
+        raise HistoryError(
+            "a sample trend needs platform, tool and kind (plus an optional "
+            "size); a bench trend needs a metric path"
+        )
+    label = "%s %s@%s" % (kind, tool, platform)
+    if size is not None:
+        label += " size=%d" % size
+    return TrendSeries(
+        label=label, unit="seconds",
+        points=store.sample_trend(platform, tool, kind, size=size, limit=limit),
+    )
+
+
+class HistoryAnalysis(object):
+    """What the recorded history says about the tools, in one object."""
+
+    def __init__(
+        self,
+        window_ids: List[str],
+        boards: List[Leaderboard],
+        repeat_regressions: List[Dict],
+        unmeasured: List[Dict],
+        recommendations: List[str],
+    ) -> None:
+        self.window_ids = list(window_ids)
+        self.boards = list(boards)
+        self.repeat_regressions = list(repeat_regressions)
+        self.unmeasured = list(unmeasured)
+        self.recommendations = list(recommendations)
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.window_ids,
+            "leaderboards": [board.to_dict() for board in self.boards],
+            "repeat_regressions": list(self.repeat_regressions),
+            "unmeasured": list(self.unmeasured),
+            "recommendations": list(self.recommendations),
+        }
+
+    def render(self) -> str:
+        lines = ["history analysis over %d run(s)" % len(self.window_ids)]
+        for board in self.boards:
+            lines.append("")
+            lines.append(board.render())
+        if self.repeat_regressions:
+            lines.append("")
+            lines.append("repeat regressions (cell, times regressed):")
+            for entry in self.repeat_regressions:
+                lines.append("  %s  x%d" % (entry["cell"], entry["count"]))
+        if self.unmeasured:
+            lines.append("")
+            lines.append("structurally unmeasured cells (latest run):")
+            for entry in self.unmeasured:
+                lines.append("  %-10s %-12s %d cell(s)" % (
+                    entry["tool"], entry["kind"], entry["cells"],
+                ))
+        lines.append("")
+        lines.append("recommendations:")
+        for recommendation in self.recommendations or ["- nothing stands out"]:
+            lines.append("  %s" % recommendation)
+        return "\n".join(lines)
+
+
+def analyze_history(
+    store,
+    window: int = 10,
+    tolerances: Optional[Tolerances] = None,
+    confidence: float = 0.95,
+) -> HistoryAnalysis:
+    """Failure patterns and recommendations over the latest ``window``
+    evaluation runs.
+
+    Walks the window's consecutive run pairs through the diff engine
+    and clusters the verdicts: a cell that regresses in two or more
+    adjacent pairs is a *repeat offender* (real drift, not one noisy
+    commit), and a tool whose cells are N/A in the latest run is
+    *structurally unmeasured* there (the paper's PVM-has-no-global-sum
+    case).  Each cluster yields one recommendation line.
+    """
+    runs = store.list_runs(kind="evaluation", limit=window)
+    window_ids = [run["run_id"] for run in runs]       # newest first
+    boards = leaderboards(store, window=window, confidence=confidence)
+    tolerances = tolerances if tolerances is not None else Tolerances()
+
+    regress_counts: Dict[str, int] = {}
+    chronological = list(reversed(window_ids))
+    cell_maps = {run_id: store.cells(run_id) for run_id in chronological}
+    for older, newer in zip(chronological, chronological[1:]):
+        diff = diff_cells(
+            cell_maps[older], cell_maps[newer],
+            baseline_id=older, current_id=newer,
+            tolerances=tolerances, confidence=confidence,
+        )
+        for cell in diff.regressions:
+            label = cell.label()
+            regress_counts[label] = regress_counts.get(label, 0) + 1
+    repeat_regressions = [
+        {"cell": label, "count": count}
+        for label, count in sorted(
+            regress_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        if count >= 2
+    ]
+
+    unmeasured: List[Dict] = []
+    if window_ids:
+        missing: Dict[tuple, int] = {}
+        for key, seeds in sorted(cell_maps[window_ids[0]].items()):
+            if all(value is None for value in seeds.values()):
+                tool, kind = key[1], key[2]
+                missing[(tool, kind)] = missing.get((tool, kind), 0) + 1
+        unmeasured = [
+            {"tool": tool, "kind": kind, "cells": count}
+            for (tool, kind), count in sorted(missing.items())
+        ]
+
+    recommendations: List[str] = []
+    for entry in repeat_regressions:
+        recommendations.append(
+            "- %s regressed in %d consecutive-run diffs: real drift, "
+            "bisect the commits in this window" % (entry["cell"], entry["count"])
+        )
+    for entry in unmeasured:
+        recommendations.append(
+            "- %s has no measurable %s cells: scored on fallback behaviour, "
+            "compare tools on their shared primitives before ranking on this"
+            % (entry["tool"], entry["kind"])
+        )
+    for board in boards:
+        if len(board.rows) >= 2:
+            top, runner = board.rows[0], board.rows[1]
+            gap = top.stats.mean - runner.stats.mean
+            spread = top.stats.ci_halfwidth + runner.stats.ci_halfwidth
+            if gap <= spread:
+                recommendations.append(
+                    "- %s/%s: %s leads %s by %.3f but the CIs overlap — "
+                    "add seeds or runs before calling a winner"
+                    % (board.platform, board.profile, top.tool, runner.tool, gap)
+                )
+    return HistoryAnalysis(
+        window_ids, boards, repeat_regressions, unmeasured, recommendations,
+    )

@@ -1,0 +1,373 @@
+"""Cross-run diffing: which cells moved, by how much, and does it matter.
+
+Two recorded runs align by **spec cell** — ``(platform, tool, kind,
+params, processors)`` — and each shared cell's per-seed samples become
+a two-sample comparison:
+
+* the per-side mean/stddev come from
+  :func:`repro.core.stats.summarize` (the same Student-t machinery the
+  reports use), and
+* the delta carries a Welch two-sample confidence interval: standard
+  error ``sqrt(sa²/na + sb²/nb)``, Welch–Satterthwaite degrees of
+  freedom, critical value from :func:`repro.core.stats.t_critical`.
+  A cell is *significant* when that interval excludes zero.
+
+The degenerate cases degrade exactly like the rest of the repo's
+statistics: a deterministic cell (single seed, or zero spread) has a
+±0 interval, so **any** nonzero delta is significant — the simulator
+is bit-reproducible, so a moved deterministic cell is a real change,
+never noise.
+
+Significance says "this moved"; the :class:`Tolerances` table says
+"this moved *enough to care*".  A significant move within the cell's
+relative tolerance classifies as ``noise``; beyond it, as
+``regression`` (slower — samples are seconds, lower is better) or
+``improvement``.  Cells present on one side only classify as
+``added``/``removed``, and cells that are N/A on both sides (a tool
+missing the primitive) as ``unmeasured``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.stats import SampleStats, summarize, t_critical
+from repro.errors import HistoryError
+
+__all__ = [
+    "CLASSIFICATIONS",
+    "Tolerances",
+    "CellDelta",
+    "RunDiff",
+    "delta_interval",
+    "diff_cells",
+    "diff_runs",
+]
+
+#: Every verdict a cell can receive, in display order.
+CLASSIFICATIONS = (
+    "regression", "improvement", "noise", "added", "removed", "unmeasured",
+)
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Per-metric relative tolerances for the regression verdicts.
+
+    ``default`` applies to every cell; ``kinds`` overrides it per job
+    kind (``sendrecv``, ``broadcast``, ``ring``, ``global_sum``,
+    ``application``) — collective timings on shared media wobble more
+    than point-to-point ones, so they earn looser floors.
+    """
+
+    default: float = 0.02
+    kinds: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in [("default", self.default)] + sorted(self.kinds.items()):
+            if not (isinstance(value, (int, float)) and math.isfinite(value)
+                    and value >= 0):
+                raise HistoryError(
+                    "tolerance %r must be a finite non-negative fraction, "
+                    "got %r" % (name, value)
+                )
+
+    def for_kind(self, kind: str) -> float:
+        return float(self.kinds.get(kind, self.default))
+
+    @classmethod
+    def from_mapping(cls, data: Mapping) -> "Tolerances":
+        data = dict(data)
+        unknown = set(data) - {"default", "kinds"}
+        if unknown:
+            raise HistoryError(
+                "unknown tolerance fields: %s (expected 'default' and/or "
+                "'kinds')" % ", ".join(sorted(unknown))
+            )
+        return cls(
+            default=float(data.get("default", cls.default)),
+            kinds={str(k): float(v) for k, v in dict(data.get("kinds", {})).items()},
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "Tolerances":
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise HistoryError("cannot read tolerance file %s (%s)" % (path, error))
+        if not isinstance(data, dict):
+            raise HistoryError("tolerance file %s must hold a JSON object" % path)
+        return cls.from_mapping(data)
+
+
+def delta_interval(
+    baseline: List[float], current: List[float], confidence: float = 0.95,
+) -> Tuple[float, float]:
+    """``(delta, ci_halfwidth)`` of ``mean(current) - mean(baseline)``.
+
+    Welch's two-sample interval on the difference of means; sides with
+    a single sample (or zero spread) contribute zero variance, and
+    when *both* sides are spreadless the interval is exactly ±0 — the
+    deterministic-simulator degenerate where any delta is exact.
+    """
+    stats_a, stats_b = summarize(baseline, confidence), summarize(current, confidence)
+    delta = stats_b.mean - stats_a.mean
+    var_a = (stats_a.stddev ** 2) / stats_a.n
+    var_b = (stats_b.stddev ** 2) / stats_b.n
+    se_sq = var_a + var_b
+    if se_sq == 0.0:
+        return delta, 0.0
+    # Welch–Satterthwaite df.  A single-sample side has zero variance,
+    # so it never divides by its zero (n - 1) term.
+    denom = 0.0
+    if stats_a.n > 1 and var_a > 0:
+        denom += var_a ** 2 / (stats_a.n - 1)
+    if stats_b.n > 1 and var_b > 0:
+        denom += var_b ** 2 / (stats_b.n - 1)
+    df = max(1, int(se_sq ** 2 / denom))
+    return delta, t_critical(df, confidence) * math.sqrt(se_sq)
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One spec cell's movement between two runs."""
+
+    platform: str
+    tool: str
+    kind: str
+    params: str
+    processors: int
+    classification: str
+    baseline: Optional[SampleStats] = None
+    current: Optional[SampleStats] = None
+    delta: Optional[float] = None
+    relative: Optional[float] = None
+    ci_halfwidth: Optional[float] = None
+    significant: bool = False
+    tolerance: Optional[float] = None
+
+    def label(self) -> str:
+        params = dict(json.loads(self.params)) if self.params else {}
+        inner = ",".join("%s=%s" % item for item in sorted(params.items()))
+        return "%s[%s] %s@%s/%d" % (
+            self.kind, inner, self.tool, self.platform, self.processors,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "tool": self.tool,
+            "kind": self.kind,
+            "params": json.loads(self.params) if self.params else {},
+            "processors": self.processors,
+            "classification": self.classification,
+            "baseline": self.baseline.to_dict() if self.baseline else None,
+            "current": self.current.to_dict() if self.current else None,
+            "delta_seconds": self.delta,
+            "relative": self.relative,
+            "ci_halfwidth": self.ci_halfwidth,
+            "significant": self.significant,
+            "tolerance": self.tolerance,
+        }
+
+
+class RunDiff(object):
+    """Every cell's verdict for one (baseline, current) run pair."""
+
+    def __init__(
+        self,
+        baseline_id: str,
+        current_id: str,
+        cells: List[CellDelta],
+        confidence: float = 0.95,
+    ) -> None:
+        self.baseline_id = baseline_id
+        self.current_id = current_id
+        self.cells = list(cells)
+        self.confidence = confidence
+
+    def by_classification(self) -> Dict[str, List[CellDelta]]:
+        grouped: Dict[str, List[CellDelta]] = {
+            name: [] for name in CLASSIFICATIONS
+        }
+        for cell in self.cells:
+            grouped[cell.classification].append(cell)
+        return grouped
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [c for c in self.cells if c.classification == "regression"]
+
+    @property
+    def improvements(self) -> List[CellDelta]:
+        return [c for c in self.cells if c.classification == "improvement"]
+
+    @property
+    def moved(self) -> List[CellDelta]:
+        return [c for c in self.cells
+                if c.classification in ("regression", "improvement")]
+
+    def summary(self) -> Dict[str, int]:
+        return {name: len(cells) for name, cells in self.by_classification().items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_id,
+            "current": self.current_id,
+            "confidence": self.confidence,
+            "summary": self.summary(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def render(self, show_all: bool = False) -> str:
+        """A human-readable diff table.
+
+        By default only moved/added/removed cells print (a clean diff
+        is one summary line); ``show_all`` includes every cell.
+        """
+        lines = [
+            "diff %s (baseline) -> %s (current), %g%% CI"
+            % (self.baseline_id, self.current_id, self.confidence * 100)
+        ]
+        rows = [cell for cell in self.cells
+                if show_all or cell.classification not in ("noise", "unmeasured")]
+        if rows:
+            width = max(len(cell.label()) for cell in rows)
+            lines.append("%-*s %14s %14s %10s %12s  %s" % (
+                width, "cell", "baseline", "current", "delta", "rel ±CI",
+                "verdict",
+            ))
+            for cell in rows:
+                if cell.delta is None:
+                    lines.append("%-*s %14s %14s %10s %12s  %s" % (
+                        width, cell.label(),
+                        "-" if cell.baseline is None else "%.6g" % cell.baseline.mean,
+                        "-" if cell.current is None else "%.6g" % cell.current.mean,
+                        "-", "-", cell.classification.upper(),
+                    ))
+                    continue
+                rel = ("%+.1f%%" % (cell.relative * 100)
+                       if cell.relative is not None else "n/a")
+                lines.append("%-*s %14.6g %14.6g %+10.3g %12s  %s%s" % (
+                    width, cell.label(), cell.baseline.mean, cell.current.mean,
+                    cell.delta, "%s ±%.3g" % (rel, cell.ci_halfwidth),
+                    cell.classification.upper(),
+                    "" if cell.significant else " (not significant)",
+                ))
+        counts = self.summary()
+        lines.append(
+            "%d cell(s): %d regression(s), %d improvement(s), %d within "
+            "noise/tolerance, %d added, %d removed, %d unmeasured"
+            % (len(self.cells), counts["regression"], counts["improvement"],
+               counts["noise"], counts["added"], counts["removed"],
+               counts["unmeasured"])
+        )
+        return "\n".join(lines)
+
+
+def _classify(
+    key: Tuple,
+    base_seeds: Optional[Dict[int, Optional[float]]],
+    cur_seeds: Optional[Dict[int, Optional[float]]],
+    tolerances: Tolerances,
+    confidence: float,
+) -> CellDelta:
+    platform, tool, kind, params, processors = key
+    base_values = ([v for v in base_seeds.values() if v is not None]
+                   if base_seeds else [])
+    cur_values = ([v for v in cur_seeds.values() if v is not None]
+                  if cur_seeds else [])
+    fields = dict(platform=platform, tool=tool, kind=kind, params=params,
+                  processors=processors)
+    if base_seeds is None:
+        return CellDelta(
+            classification="added",
+            current=summarize(cur_values, confidence) if cur_values else None,
+            **fields,
+        )
+    if cur_seeds is None:
+        return CellDelta(
+            classification="removed",
+            baseline=summarize(base_values, confidence) if base_values else None,
+            **fields,
+        )
+    if not base_values and not cur_values:
+        # N/A on both sides (e.g. PVM's missing global reduction):
+        # aligned, but there is nothing to compare.
+        return CellDelta(classification="unmeasured", **fields)
+    if not base_values or not cur_values:
+        # Measured on one side only — surface it like a membership
+        # change, not a numeric move.
+        return CellDelta(
+            classification="added" if not base_values else "removed",
+            baseline=summarize(base_values, confidence) if base_values else None,
+            current=summarize(cur_values, confidence) if cur_values else None,
+            **fields,
+        )
+    stats_a = summarize(base_values, confidence)
+    stats_b = summarize(cur_values, confidence)
+    delta, halfwidth = delta_interval(base_values, cur_values, confidence)
+    relative = (delta / stats_a.mean) if stats_a.mean != 0 else None
+    significant = abs(delta) > halfwidth if halfwidth > 0 else delta != 0.0
+    tolerance = tolerances.for_kind(kind)
+    if not significant:
+        classification = "noise"
+    elif relative is not None and abs(relative) <= tolerance:
+        classification = "noise"
+    elif delta > 0:
+        classification = "regression"  # seconds: up is slower
+    else:
+        classification = "improvement"
+    return CellDelta(
+        classification=classification,
+        baseline=stats_a,
+        current=stats_b,
+        delta=delta,
+        relative=relative,
+        ci_halfwidth=halfwidth,
+        significant=significant,
+        tolerance=tolerance,
+        **fields,
+    )
+
+
+def diff_cells(
+    baseline_cells: Dict[Tuple, Dict[int, Optional[float]]],
+    current_cells: Dict[Tuple, Dict[int, Optional[float]]],
+    baseline_id: str = "baseline",
+    current_id: str = "current",
+    tolerances: Optional[Tolerances] = None,
+    confidence: float = 0.95,
+) -> RunDiff:
+    """Align two cell maps (see :meth:`HistoryStore.cells`) and judge
+    every cell.  Pure function of its inputs — the unit the tests
+    hand-check."""
+    tolerances = tolerances if tolerances is not None else Tolerances()
+    deltas = []
+    for key in sorted(set(baseline_cells) | set(current_cells)):
+        deltas.append(_classify(
+            key, baseline_cells.get(key), current_cells.get(key),
+            tolerances, confidence,
+        ))
+    return RunDiff(baseline_id, current_id, deltas, confidence)
+
+
+def diff_runs(
+    store,
+    baseline_ref: str,
+    current_ref: str,
+    tolerances: Optional[Tolerances] = None,
+    confidence: float = 0.95,
+) -> RunDiff:
+    """Resolve two run references in ``store`` and diff them."""
+    baseline_id = store.resolve(baseline_ref, kind="evaluation")
+    current_id = store.resolve(current_ref, kind="evaluation")
+    return diff_cells(
+        store.cells(baseline_id), store.cells(current_id),
+        baseline_id=baseline_id, current_id=current_id,
+        tolerances=tolerances, confidence=confidence,
+    )

@@ -1,0 +1,119 @@
+"""The CI perf gate: a run diff reduced to an exit code.
+
+``repro history diff`` is informational — it always exits 0 so humans
+can browse movement freely.  The gate is the enforcing twin: it diffs
+a candidate run against a baseline and **fails** (exit 1) when the
+candidate regressed, using the same tolerance table, so "did this PR
+slow the simulator down?" is one command in CI:
+
+    repro history gate --db history.db latest~1 latest
+
+A gate failure names every offending cell; a pass lists what moved
+within tolerance, so a quiet gate is still auditable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.history.diff import RunDiff, Tolerances, diff_runs
+
+__all__ = ["GateVerdict", "run_gate"]
+
+
+class GateVerdict(object):
+    """One gate decision: the diff it judged, and why it passed/failed."""
+
+    def __init__(
+        self,
+        diff: RunDiff,
+        passed: bool,
+        reasons: List[str],
+        max_regressions: int = 0,
+        fail_on_removed: bool = False,
+    ) -> None:
+        self.diff = diff
+        self.passed = passed
+        self.reasons = list(reasons)
+        self.max_regressions = max_regressions
+        self.fail_on_removed = fail_on_removed
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.passed else 1
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "exit_code": self.exit_code,
+            "max_regressions": self.max_regressions,
+            "fail_on_removed": self.fail_on_removed,
+            "reasons": list(self.reasons),
+            "diff": self.diff.to_dict(),
+        }
+
+    def render(self) -> str:
+        lines = [self.diff.render()]
+        lines.append("")
+        if self.passed:
+            lines.append("GATE PASS: no disqualifying movement")
+        else:
+            lines.append("GATE FAIL:")
+            for reason in self.reasons:
+                lines.append("  %s" % reason)
+        return "\n".join(lines)
+
+
+def judge(
+    diff: RunDiff,
+    max_regressions: int = 0,
+    fail_on_removed: bool = False,
+) -> GateVerdict:
+    """Apply the gate policy to an already-computed diff.
+
+    Policy: more than ``max_regressions`` regression cells fails; with
+    ``fail_on_removed``, cells that vanished from the grid fail too
+    (a shrunken spec can hide a regression by deleting its cell).
+    Improvements and within-tolerance noise never fail.
+    """
+    reasons: List[str] = []
+    regressions = diff.regressions
+    if len(regressions) > max_regressions:
+        for cell in regressions:
+            reasons.append(
+                "regression: %s  %+.3g s (%+.1f%%, tolerance %.1f%%)" % (
+                    cell.label(), cell.delta,
+                    (cell.relative or 0.0) * 100, (cell.tolerance or 0.0) * 100,
+                )
+            )
+        if max_regressions:
+            reasons.append(
+                "%d regression(s) exceed the allowance of %d"
+                % (len(regressions), max_regressions)
+            )
+    if fail_on_removed:
+        removed = diff.by_classification()["removed"]
+        for cell in removed:
+            reasons.append("removed from grid: %s" % cell.label())
+    return GateVerdict(
+        diff, passed=not reasons, reasons=reasons,
+        max_regressions=max_regressions, fail_on_removed=fail_on_removed,
+    )
+
+
+def run_gate(
+    store,
+    baseline_ref: str,
+    current_ref: str,
+    tolerances: Optional[Tolerances] = None,
+    confidence: float = 0.95,
+    max_regressions: int = 0,
+    fail_on_removed: bool = False,
+) -> GateVerdict:
+    """Diff two stored runs and gate on the result."""
+    diff = diff_runs(
+        store, baseline_ref, current_ref,
+        tolerances=tolerances, confidence=confidence,
+    )
+    return judge(diff, max_regressions=max_regressions,
+                 fail_on_removed=fail_on_removed)

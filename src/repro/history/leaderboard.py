@@ -1,0 +1,135 @@
+"""Tool leaderboards over the recorded history.
+
+A leaderboard answers the paper's headline question — *which tool wins
+on this platform, under this weighting profile?* — but over the last N
+recorded runs instead of one: each (platform, profile) pair ranks its
+tools by the mean overall score across the window's runs, with the
+same Student-t spread the single-run reports print.  Overall scores
+are higher-is-better (see :class:`~repro.core.evaluation.ToolRanking`),
+and ties break on the tool name so the ordering is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.stats import SampleStats, summarize
+from repro.errors import HistoryError
+
+__all__ = ["LeaderboardRow", "Leaderboard", "leaderboards"]
+
+
+@dataclass(frozen=True)
+class LeaderboardRow:
+    """One tool's standing on one (platform, profile) board."""
+
+    rank: int
+    tool: str
+    stats: SampleStats          # overall score across the window's runs
+    runs: int                   # runs in the window that scored this tool
+    latest: Optional[float]     # the newest run's score, for trend-spotting
+
+    def to_dict(self) -> dict:
+        return {
+            "rank": self.rank,
+            "tool": self.tool,
+            "score": self.stats.to_dict(),
+            "runs": self.runs,
+            "latest": self.latest,
+        }
+
+
+class Leaderboard(object):
+    """One (platform, profile) ranking over a window of runs."""
+
+    def __init__(
+        self,
+        platform: str,
+        profile: str,
+        run_ids: List[str],
+        rows: List[LeaderboardRow],
+    ) -> None:
+        self.platform = platform
+        self.profile = profile
+        self.run_ids = list(run_ids)
+        self.rows = list(rows)
+
+    @property
+    def winner(self) -> Optional[str]:
+        return self.rows[0].tool if self.rows else None
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": self.platform,
+            "profile": self.profile,
+            "runs": self.run_ids,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "%s / %s (over %d run%s)" % (
+                self.platform, self.profile, len(self.run_ids),
+                "" if len(self.run_ids) == 1 else "s",
+            )
+        ]
+        for row in self.rows:
+            lines.append(
+                "  %d. %-10s %.3f ±%.3f  (%d run%s, latest %.3f)" % (
+                    row.rank, row.tool, row.stats.mean,
+                    row.stats.ci_halfwidth, row.runs,
+                    "" if row.runs == 1 else "s",
+                    row.latest if row.latest is not None else float("nan"),
+                )
+            )
+        return "\n".join(lines)
+
+
+def leaderboards(
+    store,
+    window: int = 10,
+    platform: Optional[str] = None,
+    profile: Optional[str] = None,
+    confidence: float = 0.95,
+) -> List[Leaderboard]:
+    """Rank tools per (platform, profile) over the latest ``window``
+    evaluation runs.
+
+    Each contributing value is one run's mean overall score for that
+    cell (the run already averaged its own seeds), so a noisy run
+    counts once — the window axis measures stability *across* commits,
+    not across seeds.  Boards come back sorted by (platform, profile);
+    rows by score descending, then tool name.
+    """
+    if window < 1:
+        raise HistoryError("leaderboard window must be >= 1, got %d" % window)
+    runs = store.list_runs(kind="evaluation", limit=window)
+    run_ids = [run["run_id"] for run in runs]          # newest first
+    order = {run_id: index for index, run_id in enumerate(run_ids)}
+    # (platform, profile, tool) -> [(recency index, mean score), ...]
+    cells: Dict[Tuple[str, str, str], List[Tuple[int, float]]] = {}
+    for row in store.scores_for(run_ids):
+        if platform is not None and row["platform"] != platform:
+            continue
+        if profile is not None and row["profile"] != profile:
+            continue
+        key = (row["platform"], row["profile"], row["tool"])
+        cells.setdefault(key, []).append((order[row["run_id"]], row["mean"]))
+    boards: Dict[Tuple[str, str], List[Tuple[str, SampleStats, int, float]]] = {}
+    for (plat, prof, tool), scored in sorted(cells.items()):
+        scored.sort()                                   # newest first
+        values = [score for _, score in scored]
+        boards.setdefault((plat, prof), []).append(
+            (tool, summarize(values, confidence), len(values), scored[0][1])
+        )
+    result = []
+    for (plat, prof), entries in sorted(boards.items()):
+        entries.sort(key=lambda entry: (-entry[1].mean, entry[0]))
+        rows = [
+            LeaderboardRow(rank=index + 1, tool=tool, stats=stats,
+                           runs=count, latest=latest)
+            for index, (tool, stats, count, latest) in enumerate(entries)
+        ]
+        result.append(Leaderboard(plat, prof, run_ids, rows))
+    return result

@@ -1,0 +1,526 @@
+"""The run-history store: every recorded run, forever (SQLite, WAL).
+
+One row per recorded run — the full :class:`~repro.core.results.ResultSet`
+export JSON plus provenance (spec hash, git SHA, wall-clock timestamp,
+noise/engine/backend, who recorded it) — and three denormalized tables
+the analytics layer aggregates **in SQL** instead of re-parsing every
+export:
+
+* ``samples`` — one row per measurement, keyed by the spec cell
+  ``(platform, tool, kind, size, seed)`` (plus the full canonical
+  params and processor count, which complete the cell identity).  The
+  diff engine and trend queries read these.
+* ``scores`` — one row per (platform, profile, tool) statistics cell:
+  the mean overall score across the run's seeds.  Leaderboards rank
+  over these.
+* ``metrics`` — flattened ``BENCH_*.json`` metric paths for bench-type
+  runs, so the perf trajectory and the evaluation history live in one
+  database (``scripts/bench_report.py --history-db``).
+
+The store mirrors :class:`~repro.service.store.RunStore`'s concurrency
+model: one connection serialized behind a lock, WAL so readers never
+block the writer (the service's watcher threads append while the HTTP
+history endpoints read).  ``PRAGMA user_version`` stamps the schema
+generation; opening a database written by a different generation
+raises :class:`~repro.errors.HistoryError` instead of silently
+misreading rows — history is the one artifact that must never be
+quietly reinterpreted.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import threading
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import HistoryError
+from repro.service.store import spec_hash
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RUN_KINDS",
+    "HistoryStore",
+    "current_git_sha",
+    "flatten_metrics",
+]
+
+#: Schema generation stamped into ``PRAGMA user_version``.  Bump this
+#: when the tables change shape; old databases are then refused with a
+#: message naming both generations (the migration path is deliberate:
+#: re-record, or migrate offline — never guess).
+SCHEMA_VERSION = 1
+
+#: What a recorded run can be: a full evaluation export, or a
+#: ``BENCH_*.json`` benchmark report.
+RUN_KINDS = ("evaluation", "bench")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    label        TEXT,
+    source       TEXT NOT NULL,
+    recorded_at  REAL NOT NULL,
+    git_sha      TEXT,
+    spec_hash    TEXT,
+    engine       TEXT,
+    backend      TEXT,
+    noise        REAL NOT NULL DEFAULT 0,
+    simulated    INTEGER,
+    cache_hits   INTEGER,
+    wall_seconds REAL,
+    payload_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_by_time ON runs (recorded_at, run_id);
+CREATE TABLE IF NOT EXISTS samples (
+    run_id     TEXT NOT NULL,
+    platform   TEXT NOT NULL,
+    tool       TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    size       INTEGER,
+    params     TEXT NOT NULL,
+    processors INTEGER NOT NULL,
+    seed       INTEGER NOT NULL,
+    seconds    REAL
+);
+CREATE INDEX IF NOT EXISTS samples_by_run ON samples (run_id);
+CREATE INDEX IF NOT EXISTS samples_by_cell
+    ON samples (platform, tool, kind, size, seed);
+CREATE TABLE IF NOT EXISTS scores (
+    run_id   TEXT NOT NULL,
+    platform TEXT NOT NULL,
+    profile  TEXT NOT NULL,
+    tool     TEXT NOT NULL,
+    mean     REAL NOT NULL,
+    stddev   REAL NOT NULL,
+    n        INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS scores_by_run ON scores (run_id);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id TEXT NOT NULL,
+    path   TEXT NOT NULL,
+    value  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS metrics_by_run ON metrics (run_id);
+"""
+
+#: Sample params whose value is the cell's "size" axis, in lookup
+#: order (a sendrecv/broadcast/ring job has ``nbytes``, a global sum
+#: has ``vector_ints``; applications have neither and store NULL).
+_SIZE_PARAMS = ("nbytes", "vector_ints")
+
+
+def current_git_sha(short: bool = True) -> Optional[str]:
+    """The working tree's HEAD commit, or ``None`` outside a checkout.
+
+    Recording provenance must never make recording fail: any git
+    breakage (no binary, not a repo, fresh repo without commits) reads
+    as "unknown".
+    """
+    cmd = ["git", "rev-parse", "--short", "HEAD"] if short else [
+        "git", "rev-parse", "HEAD"]
+    try:
+        sha = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return sha or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def flatten_metrics(node: Any, prefix: Tuple[str, ...] = ()) -> Dict[str, float]:
+    """Flatten a benchmark report's nested numbers to dotted paths.
+
+    Matches ``scripts/bench_report.py``'s view of a report (sorted
+    keys, numbers only, booleans excluded) so the metric paths stored
+    here diff cleanly against the paths the CI gate enforces.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in sorted(node):
+            out.update(flatten_metrics(node[key], prefix + (key,)))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[".".join(prefix)] = float(node)
+    return out
+
+
+def _sample_row(run_id: str, sample: Dict[str, Any]) -> Tuple:
+    params = dict(sample.get("params") or {})
+    size = None
+    for name in _SIZE_PARAMS:
+        if name in params:
+            size = int(params[name])
+            break
+    return (
+        run_id,
+        sample["platform"],
+        sample["tool"],
+        sample["kind"],
+        size,
+        json.dumps(params, sort_keys=True, separators=(",", ":")),
+        int(sample.get("processors") or 0),
+        int(sample.get("seed") or 0),
+        sample.get("seconds"),
+    )
+
+
+class HistoryStore(object):
+    """Append-only run history with SQL-side aggregation views.
+
+    One store may be shared by the CLI, the bench scripts and a
+    service process; every method is thread-safe.  Runs are never
+    mutated after :meth:`record_result` / :meth:`record_bench` —
+    history is append-only by design (delete rows with sqlite3 if you
+    must, but nothing in the repo ever will).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        # Single connection, serialized by our lock (same model as the
+        # service's RunStore): check_same_thread off is safe because
+        # no two threads ever use it concurrently.
+        try:
+            connection = sqlite3.connect(path, check_same_thread=False)
+        except sqlite3.Error as error:
+            raise HistoryError("cannot open %s (%s)" % (path, error))
+        self._db = connection  # guarded-by: _lock
+        self._db.row_factory = sqlite3.Row
+        self.recorded = 0  # guarded-by: _lock
+        self.reads = 0  # guarded-by: _lock
+        with self._lock:
+            version = self._db.execute("PRAGMA user_version").fetchone()[0]
+            if version not in (0, SCHEMA_VERSION):
+                self._db.close()
+                raise HistoryError(
+                    "%s was written by history schema v%d; this build reads "
+                    "v%d — refusing to reinterpret it (re-record into a "
+                    "fresh database, or migrate offline)"
+                    % (path, version, SCHEMA_VERSION)
+                )
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.executescript(_SCHEMA)
+            self._db.execute("PRAGMA user_version=%d" % SCHEMA_VERSION)
+            self._db.commit()
+
+    # -- recording -----------------------------------------------------
+
+    def record_result(
+        self,
+        export: Dict[str, Any],
+        label: Optional[str] = None,
+        source: str = "api",
+        git_sha: Optional[str] = None,
+        engine: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> str:
+        """Append one evaluation run; returns its generated run id.
+
+        ``export`` is :meth:`ResultSet.to_dict` output (or the parsed
+        JSON a ``repro evaluate --json`` run wrote): ``spec`` and
+        ``samples`` are required, ``statistics`` feeds the scores
+        table, ``telemetry`` (when present) supplies the counters and
+        provenance defaults.
+        """
+        if not isinstance(export, dict) or not isinstance(export.get("spec"), dict):
+            raise HistoryError(
+                "not a results export (no 'spec' object) — record the JSON "
+                "written by `repro evaluate --json` or ResultSet.to_dict()"
+            )
+        if not isinstance(export.get("samples"), list):
+            raise HistoryError(
+                "not a results export (no 'samples' list) — a spec alone "
+                "records nothing worth diffing"
+            )
+        spec = export["spec"]
+        telemetry = export.get("telemetry") or {}
+        summary = telemetry.get("summary") or {}
+        if engine is None:
+            engines = sorted({
+                job.get("engine", "event") for job in telemetry.get("jobs", ())
+            })
+            engine = ",".join(engines) if engines else None
+        if backend is None:
+            executors = summary.get("executors")
+            backend = ",".join(executors) if executors else None
+        sample_rows = [_sample_row("", sample) for sample in export["samples"]]
+        score_rows = []
+        for cell, tools in sorted((export.get("statistics") or {}).items()):
+            platform, _, profile = cell.partition("/")
+            for tool, stats in sorted(tools.items()):
+                score_rows.append((
+                    platform, profile, tool,
+                    float(stats["mean"]), float(stats.get("stddev", 0.0)),
+                    int(stats.get("n", 1)),
+                ))
+        with self._lock:
+            run_id = self._fresh_id_locked()
+            self._db.execute(
+                "INSERT INTO runs (run_id, kind, label, source, recorded_at,"
+                " git_sha, spec_hash, engine, backend, noise, simulated,"
+                " cache_hits, wall_seconds, payload_json)"
+                " VALUES (?, 'evaluation', ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id, label, source, time.time(), git_sha,
+                    spec_hash(spec), engine, backend,
+                    float(spec.get("noise", 0.0)),
+                    summary.get("simulated"), summary.get("cache_hits"),
+                    summary.get("total_wall_seconds"),
+                    json.dumps(export, sort_keys=True),
+                ),
+            )
+            self._db.executemany(
+                "INSERT INTO samples (run_id, platform, tool, kind, size,"
+                " params, processors, seed, seconds)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(run_id,) + row[1:] for row in sample_rows],
+            )
+            self._db.executemany(
+                "INSERT INTO scores (run_id, platform, profile, tool, mean,"
+                " stddev, n) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(run_id,) + row for row in score_rows],
+            )
+            self._db.commit()
+            self.recorded += 1
+        return run_id
+
+    def record_bench(
+        self,
+        report: Dict[str, Any],
+        label: Optional[str] = None,
+        source: str = "bench",
+        git_sha: Optional[str] = None,
+    ) -> str:
+        """Append one ``BENCH_*.json`` benchmark report.
+
+        Metrics flatten to the same dotted paths
+        ``scripts/bench_report.py`` compares, so a metric's trajectory
+        can be queried straight out of the ``metrics`` table.
+        """
+        if not isinstance(report, dict) or not isinstance(report.get("metrics"), dict):
+            raise HistoryError(
+                "not a benchmark report (no 'metrics' mapping) — record a "
+                "BENCH_*.json written by the benchmark scripts"
+            )
+        metrics = flatten_metrics({"metrics": report["metrics"]})
+        if label is None:
+            label = report.get("benchmark")
+        with self._lock:
+            run_id = self._fresh_id_locked()
+            self._db.execute(
+                "INSERT INTO runs (run_id, kind, label, source, recorded_at,"
+                " git_sha, payload_json) VALUES (?, 'bench', ?, ?, ?, ?, ?)",
+                (run_id, label, source, time.time(), git_sha,
+                 json.dumps(report, sort_keys=True)),
+            )
+            self._db.executemany(
+                "INSERT INTO metrics (run_id, path, value) VALUES (?, ?, ?)",
+                [(run_id, path, value) for path, value in sorted(metrics.items())],
+            )
+            self._db.commit()
+            self.recorded += 1
+        return run_id
+
+    def _fresh_id_locked(self) -> str:
+        run_id = uuid.uuid4().hex[:12]
+        while self._db.execute(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone():  # pragma: no cover - astronomically rare
+            run_id = uuid.uuid4().hex[:12]
+        return run_id
+
+    # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def _summary_row(row: sqlite3.Row) -> Dict[str, Any]:
+        return dict(row)
+
+    def list_runs(
+        self, kind: Optional[str] = None, limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Recorded runs newest-first, without the payload JSON."""
+        if kind is not None and kind not in RUN_KINDS:
+            raise HistoryError(
+                "unknown run kind %r; known: %s" % (kind, ", ".join(RUN_KINDS))
+            )
+        query = ("SELECT run_id, kind, label, source, recorded_at, git_sha,"
+                 " spec_hash, engine, backend, noise, simulated, cache_hits,"
+                 " wall_seconds FROM runs")
+        args: Tuple = ()
+        if kind is not None:
+            query += " WHERE kind = ?"
+            args = (kind,)
+        query += " ORDER BY recorded_at DESC, run_id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            args = args + (int(limit),)
+        with self._lock:
+            self.reads += 1
+            return [self._summary_row(row) for row in self._db.execute(query, args)]
+
+    def get(self, run_id: str) -> Dict[str, Any]:
+        """One run's full record, payload parsed back to a dict."""
+        with self._lock:
+            self.reads += 1
+            row = self._db.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise HistoryError("unknown run %r" % run_id)
+        record = dict(row)
+        record["payload"] = json.loads(record.pop("payload_json"))
+        return record
+
+    def resolve(self, ref: str, kind: Optional[str] = None) -> str:
+        """A run reference -> run id.
+
+        Accepts an exact id, a unique id prefix, or the relative forms
+        ``latest`` / ``latest~N`` (the N-th most recent run, optionally
+        restricted to one ``kind``).  Ambiguity and misses raise
+        :class:`~repro.errors.HistoryError` naming the candidates.
+        """
+        ref = ref.strip()
+        if ref == "latest" or ref.startswith("latest~"):
+            back = 0
+            if ref != "latest":
+                try:
+                    back = int(ref.split("~", 1)[1])
+                except ValueError:
+                    raise HistoryError("malformed run reference %r" % ref)
+                if back < 0:
+                    raise HistoryError("malformed run reference %r" % ref)
+            runs = self.list_runs(kind=kind, limit=back + 1)
+            if len(runs) <= back:
+                raise HistoryError(
+                    "reference %r needs %d recorded run(s), the store has %d"
+                    % (ref, back + 1, len(runs))
+                )
+            return runs[back]["run_id"]
+        with self._lock:
+            self.reads += 1
+            rows = self._db.execute(
+                "SELECT run_id FROM runs WHERE run_id = ? OR run_id LIKE ?"
+                " ORDER BY run_id", (ref, ref + "%"),
+            ).fetchall()
+        ids = [row["run_id"] for row in rows]
+        if ref in ids:
+            return ref
+        if len(ids) == 1:
+            return ids[0]
+        if not ids:
+            raise HistoryError(
+                "no recorded run matches %r (try `repro history list`)" % ref
+            )
+        raise HistoryError(
+            "run reference %r is ambiguous: %s" % (ref, ", ".join(ids))
+        )
+
+    def samples_for(self, run_id: str) -> List[Dict[str, Any]]:
+        """The denormalized sample rows of one run."""
+        with self._lock:
+            self.reads += 1
+            rows = self._db.execute(
+                "SELECT platform, tool, kind, size, params, processors,"
+                " seed, seconds FROM samples WHERE run_id = ?"
+                " ORDER BY platform, tool, kind, size, params, seed",
+                (run_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def cells(self, run_id: str) -> Dict[Tuple, Dict[int, Optional[float]]]:
+        """``(platform, tool, kind, params, processors) -> {seed: seconds}``
+        for one run — the diff engine's alignment view."""
+        grouped: Dict[Tuple, Dict[int, Optional[float]]] = {}
+        for row in self.samples_for(run_id):
+            key = (row["platform"], row["tool"], row["kind"], row["params"],
+                   row["processors"])
+            grouped.setdefault(key, {})[row["seed"]] = row["seconds"]
+        return grouped
+
+    def scores_for(self, run_ids: List[str]) -> List[Dict[str, Any]]:
+        """Score rows of several runs (leaderboard's raw material)."""
+        if not run_ids:
+            return []
+        marks = ",".join("?" for _ in run_ids)
+        with self._lock:
+            self.reads += 1
+            rows = self._db.execute(
+                "SELECT run_id, platform, profile, tool, mean, stddev, n"
+                " FROM scores WHERE run_id IN (%s)"
+                " ORDER BY platform, profile, tool, run_id" % marks,
+                tuple(run_ids),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def sample_trend(
+        self,
+        platform: str,
+        tool: str,
+        kind: str,
+        size: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Per-run mean seconds of one cell family, oldest first —
+        aggregated SQL-side over the denormalized samples."""
+        query = (
+            "SELECT s.run_id AS run_id, r.recorded_at AS recorded_at,"
+            " r.git_sha AS git_sha, r.label AS label,"
+            " AVG(s.seconds) AS mean_seconds, COUNT(s.seconds) AS n"
+            " FROM samples s JOIN runs r ON r.run_id = s.run_id"
+            " WHERE s.platform = ? AND s.tool = ? AND s.kind = ?"
+        )
+        args: List = [platform, tool, kind]
+        if size is not None:
+            query += " AND s.size = ?"
+            args.append(int(size))
+        query += " GROUP BY s.run_id ORDER BY r.recorded_at, s.run_id"
+        with self._lock:
+            self.reads += 1
+            rows = self._db.execute(query, tuple(args)).fetchall()
+        points = [dict(row) for row in rows]
+        if limit is not None:
+            points = points[-int(limit):]
+        return points
+
+    def metric_trend(
+        self, path: str, limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Per-run values of one flattened bench metric, oldest first."""
+        with self._lock:
+            self.reads += 1
+            rows = self._db.execute(
+                "SELECT m.run_id AS run_id, r.recorded_at AS recorded_at,"
+                " r.git_sha AS git_sha, r.label AS label, m.value AS value"
+                " FROM metrics m JOIN runs r ON r.run_id = m.run_id"
+                " WHERE m.path = ? ORDER BY r.recorded_at, m.run_id",
+                (path,),
+            ).fetchall()
+        points = [dict(row) for row in rows]
+        if limit is not None:
+            points = points[-int(limit):]
+        return points
+
+    def stats(self) -> Dict[str, int]:
+        """Store-level counters (what the lock annotations guard)."""
+        with self._lock:
+            return {"recorded": self.recorded, "reads": self.reads}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.close()
+
+    def __enter__(self) -> "HistoryStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<HistoryStore %s>" % self.path

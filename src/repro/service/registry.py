@@ -120,6 +120,13 @@ class JobRegistry(object):
     per_user_limit:
         Concurrently *running* evaluations per user (>= 1); further
         submissions queue FIFO.
+    history:
+        Optional :class:`~repro.history.HistoryStore`.  Every run that
+        *completes* (not cancelled, not failed — partial grids would
+        poison cross-run diffs) is appended to it from the watcher
+        thread, and the server exposes it under ``GET
+        /api/history/...``.  Recording is best-effort: a history
+        failure is reported on stderr but never fails the run itself.
     """
 
     def __init__(
@@ -127,10 +134,12 @@ class JobRegistry(object):
         store: RunStore,
         scheduler_factory: Optional[Callable[[], Scheduler]] = None,
         per_user_limit: int = 2,
+        history=None,
     ) -> None:
         if per_user_limit < 1:
             raise ServiceError("per_user_limit must be >= 1")
         self.store = store
+        self.history = history
         self.per_user_limit = per_user_limit
         if scheduler_factory is None:
             shared = ResultCache()
@@ -207,6 +216,7 @@ class JobRegistry(object):
             result = handle.result()
             state = "completed"
             result_export = result.to_dict()
+            self._record_history(managed, result_export)
         except RunCancelled:
             state = "cancelled"
             result_export = self._partial_export(handle)
@@ -227,6 +237,29 @@ class JobRegistry(object):
                 managed.done.set()
                 self._active.get(managed.user, set()).discard(managed.run_id)
                 self._admit_next_locked(managed.user)
+
+    def _record_history(self, managed: _ManagedRun, result_export: dict) -> None:
+        """Append a completed run to the history store (best-effort).
+
+        Runs on the watcher thread; the HistoryStore serializes its
+        own access, so any number of concurrent watchers may append.
+        A history failure must never turn a completed evaluation into
+        a failed one — it is reported and swallowed.
+        """
+        if self.history is None:
+            return
+        try:
+            from repro.history.store import current_git_sha
+
+            self.history.record_result(
+                result_export, label=managed.run_id, source="service",
+                git_sha=current_git_sha(),
+            )
+        except Exception as error:  # noqa: BLE001 - reported, not raised
+            import sys
+
+            print("history: failed to record run %s (%s)"
+                  % (managed.run_id, error), file=sys.stderr)
 
     @staticmethod
     def _partial_export(handle) -> dict:

@@ -15,6 +15,14 @@ The API::
     POST /api/runs/{id}/cancel    cooperative cancel (queued or running)
     GET  /api/runs/{id}/events    Server-Sent Events: replay, then live
 
+With a history database attached (``repro serve --history-db``) the
+regression-intelligence views are readable too (404 otherwise)::
+
+    GET  /api/history/runs            recorded runs; ?kind=&limit= filter
+    GET  /api/history/runs/{ref}      one run (id, unique prefix, latest~N)
+    GET  /api/history/diff            ?baseline=REF&current=REF cell diff
+    GET  /api/history/leaderboard     ?window=&platform=&profile= rankings
+
 Submissions carry ``{"spec": {...}}`` (the JSON form of
 :class:`~repro.core.spec.EvaluationSpec`) and are accounted to the
 ``X-User`` header for per-user concurrency limits.  The SSE stream
@@ -51,6 +59,7 @@ from repro.service.registry import JobRegistry
 __all__ = ["ServiceServer"]
 
 _RUN_PATH = re.compile(r"^/api/runs/(?P<run_id>[0-9a-f]+)(?P<rest>/events|/cancel)?$")
+_HISTORY_RUN_PATH = re.compile(r"^/api/history/runs/(?P<ref>[0-9a-f]+|latest(~[0-9]+)?)$")
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -244,6 +253,11 @@ class ServiceServer(object):
                 return
             raise _HttpError(405, "method %s not allowed on %s" % (method, path))
 
+        if path == "/api/history" or path.startswith("/api/history/"):
+            self._require(method, "GET")
+            await self._route_history(path, parse_qs(url.query), writer)
+            return
+
         match = _RUN_PATH.match(path)
         if match is None:
             raise _HttpError(404, "no route for %s" % path)
@@ -260,6 +274,76 @@ class ServiceServer(object):
         else:  # /events
             self._require(method, "GET")
             await self._stream_events(writer, run_id)
+
+    async def _route_history(self, path: str, query: dict, writer) -> None:
+        """The read-only regression-intelligence views.
+
+        All of them run the (briefly) blocking HistoryStore calls off
+        the event loop, and all of them 404 when the server was
+        started without ``--history-db`` — absent history is a missing
+        resource, not a client mistake.
+        """
+        history = self.registry.history
+        if history is None:
+            raise _HttpError(
+                404, "history is not enabled (start with --history-db)"
+            )
+        from repro.errors import HistoryError
+
+        def param(name: str) -> Optional[str]:
+            return (query.get(name) or [None])[0]
+
+        try:
+            if path == "/api/history/runs":
+                kind = param("kind")
+                limit = int(param("limit") or 50)
+                runs = await asyncio.to_thread(
+                    history.list_runs, kind, limit
+                )
+                await self._respond_json(writer, 200, {"runs": runs})
+                return
+            match = _HISTORY_RUN_PATH.match(path)
+            if match is not None:
+                def lookup():
+                    return history.get(history.resolve(match.group("ref")))
+
+                record = await asyncio.to_thread(lookup)
+                await self._respond_json(writer, 200, record)
+                return
+            if path == "/api/history/diff":
+                baseline, current = param("baseline"), param("current")
+                if not baseline or not current:
+                    raise _HttpError(
+                        400, "diff needs ?baseline=REF&current=REF"
+                    )
+                from repro.history import diff_runs
+
+                diff = await asyncio.to_thread(
+                    diff_runs, history, baseline, current
+                )
+                await self._respond_json(writer, 200, diff.to_dict())
+                return
+            if path == "/api/history/leaderboard":
+                from repro.history import leaderboards
+
+                boards = await asyncio.to_thread(
+                    leaderboards, history, int(param("window") or 10),
+                    param("platform"), param("profile"),
+                )
+                await self._respond_json(
+                    writer, 200,
+                    {"leaderboards": [board.to_dict() for board in boards]},
+                )
+                return
+        except ValueError as error:
+            raise _HttpError(400, "bad query parameter: %s" % error)
+        except HistoryError as error:
+            message = str(error)
+            missing = ("no recorded run" in message
+                       or "needs" in message
+                       or "unknown run" in message)
+            raise _HttpError(404 if missing else 400, message)
+        raise _HttpError(404, "no route for %s" % path)
 
     @staticmethod
     def _identity(headers) -> Optional[str]:

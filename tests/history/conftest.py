@@ -1,0 +1,34 @@
+"""Shared fixtures: one real multi-seed export, reused by every test.
+
+The export comes from an actual scheduler run (noise on, three seeds,
+one tool) so the store/diff tests exercise the real ResultSet shape —
+but it is computed once per session and cloned per test, because the
+simulation is the slow part.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.history import HistoryStore
+
+from history_helpers import tiny_spec
+
+
+@pytest.fixture(scope="session")
+def _base_export():
+    spec = tiny_spec(seeds=(0, 1, 2), noise=1.0)
+    return Scheduler().run(spec).to_dict()
+
+
+@pytest.fixture
+def export(_base_export):
+    """A fresh deep copy per test — mutate freely."""
+    return copy.deepcopy(_base_export)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with HistoryStore(str(tmp_path / "history.db")) as history_store:
+        yield history_store

@@ -1,0 +1,35 @@
+"""Helpers shared by the history tests (imported by name, like
+tests/service's service_helpers, so no two directories fight over a
+``conftest`` module import)."""
+
+import copy
+
+from repro.core.spec import EvaluationSpec
+
+TINY = dict(
+    tools=("p4",),
+    tpl_sizes=(1024,),
+    global_sum_ints=2_000,
+    apps=("montecarlo",),
+    app_params={"montecarlo": {"samples": 5_000}},
+)
+
+
+def tiny_spec(**overrides):
+    """A seconds-scale spec: one tool -> 5 jobs per seed."""
+    kwargs = dict(TINY)
+    kwargs.update(overrides)
+    return EvaluationSpec(**kwargs)
+
+
+def scaled(export_dict, factor, kinds=None):
+    """A copy of an export with (some kinds of) samples slowed/sped
+    by ``factor`` — the injected-regression helper."""
+    doctored = copy.deepcopy(export_dict)
+    for sample in doctored["samples"]:
+        if sample.get("seconds") is None:
+            continue
+        if kinds is not None and sample["kind"] not in kinds:
+            continue
+        sample["seconds"] *= factor
+    return doctored

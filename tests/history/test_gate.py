@@ -1,0 +1,76 @@
+"""The perf gate's policy: exit codes, allowances, removed cells."""
+
+import pytest
+
+from repro.history import Tolerances, run_gate
+from repro.history.diff import diff_cells
+from repro.history.gate import judge
+
+from history_helpers import scaled
+
+
+def cells(values, tool="p4"):
+    return {
+        ("net", tool, "sendrecv", '{"nbytes":%d}' % (1024 * (i + 1)), 4):
+            {0: value}
+        for i, value in enumerate(values)
+    }
+
+
+class TestJudge:
+    def test_clean_diff_passes(self):
+        verdict = judge(diff_cells(cells([1.0, 2.0]), cells([1.0, 2.0])))
+        assert verdict.passed
+        assert verdict.exit_code == 0
+        assert "GATE PASS" in verdict.render()
+
+    def test_single_regression_fails_by_default(self):
+        verdict = judge(diff_cells(cells([1.0, 2.0]), cells([1.5, 2.0])))
+        assert not verdict.passed
+        assert verdict.exit_code == 1
+        assert len(verdict.reasons) == 1
+        assert "GATE FAIL" in verdict.render()
+
+    def test_max_regressions_allowance(self):
+        diff = diff_cells(cells([1.0, 2.0]), cells([1.5, 2.0]))
+        assert judge(diff, max_regressions=1).passed
+        two = diff_cells(cells([1.0, 2.0]), cells([1.5, 3.0]))
+        verdict = judge(two, max_regressions=1)
+        assert not verdict.passed
+        assert any("exceed the allowance" in reason
+                   for reason in verdict.reasons)
+
+    def test_improvements_never_fail(self):
+        verdict = judge(diff_cells(cells([1.0, 2.0]), cells([0.5, 1.0])))
+        assert verdict.passed
+
+    def test_removed_cells_fail_only_when_asked(self):
+        diff = diff_cells(cells([1.0, 2.0]), cells([1.0]))
+        assert judge(diff).passed
+        verdict = judge(diff, fail_on_removed=True)
+        assert not verdict.passed
+        assert any("removed from grid" in reason
+                   for reason in verdict.reasons)
+
+    def test_verdict_to_dict_carries_the_diff(self):
+        verdict = judge(diff_cells(cells([1.0]), cells([2.0])))
+        payload = verdict.to_dict()
+        assert payload["exit_code"] == 1
+        assert payload["diff"]["summary"]["regression"] == 1
+
+
+class TestRunGate:
+    def test_pass_and_fail_against_real_runs(self, store, export):
+        store.record_result(export)
+        store.record_result(export)
+        assert run_gate(store, "latest~1", "latest").exit_code == 0
+        store.record_result(scaled(export, 1.5))
+        assert run_gate(store, "latest~1", "latest").exit_code == 1
+
+    def test_tolerances_rescue_small_moves(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 1.04))
+        assert run_gate(store, "latest~1", "latest").exit_code == 1
+        lenient = run_gate(store, "latest~1", "latest",
+                           tolerances=Tolerances(default=0.10))
+        assert lenient.exit_code == 0

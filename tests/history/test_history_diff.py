@@ -1,0 +1,177 @@
+"""The diff engine against hand-computed statistics.
+
+The Welch interval here is recomputed by hand (not by calling the
+code under test) so a regression in the significance math cannot hide
+behind itself; the degenerate single-seed/zero-spread cases get exact
+assertions.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.stats import t_critical
+from repro.errors import HistoryError
+from repro.history import HistoryStore, Tolerances, diff_runs
+from repro.history.diff import CLASSIFICATIONS, delta_interval, diff_cells
+
+from history_helpers import scaled
+
+
+def cell(platform="sun-ethernet", tool="p4", kind="sendrecv",
+         params='{"nbytes":1024}', processors=4):
+    return (platform, tool, kind, params, processors)
+
+
+def one_cell(seeds, key=None):
+    return {key or cell(): dict(enumerate(seeds))}
+
+
+class TestDeltaInterval:
+    def test_matches_hand_computed_welch(self):
+        baseline = [1.0, 1.1, 0.9]
+        current = [1.3, 1.5, 1.4]
+        delta, halfwidth = delta_interval(baseline, current)
+        # hand computation: sample stddev 0.1 each side, n=3
+        var = (0.1 ** 2) / 3
+        se = math.sqrt(2 * var)
+        df = int((2 * var) ** 2 / (2 * (var ** 2 / 2)))  # == 4
+        assert delta == pytest.approx(0.4)
+        assert df == 4
+        assert halfwidth == pytest.approx(t_critical(4, 0.95) * se)
+
+    def test_single_seed_degenerates_to_exact_plus_minus_zero(self):
+        assert delta_interval([1.0], [1.0]) == (0.0, 0.0)
+        delta, halfwidth = delta_interval([1.0], [1.25])
+        assert delta == pytest.approx(0.25)
+        assert halfwidth == 0.0
+
+    def test_zero_spread_multi_seed_is_also_exact(self):
+        # deterministic runs: three seeds, identical values
+        _, halfwidth = delta_interval([2.0, 2.0, 2.0], [2.5, 2.5, 2.5])
+        assert halfwidth == 0.0
+
+    def test_one_sided_spread_uses_only_that_variance(self):
+        baseline = [1.0]                    # no variance contribution
+        current = [2.0, 2.2, 1.8]
+        delta, halfwidth = delta_interval(baseline, current)
+        var_b = (0.2 ** 2) / 3
+        assert delta == pytest.approx(1.0)
+        # df collapses to the spreadful side's n-1 = 2
+        assert halfwidth == pytest.approx(
+            t_critical(2, 0.95) * math.sqrt(var_b))
+
+
+class TestClassification:
+    def test_significant_beyond_tolerance_is_a_regression(self):
+        diff = diff_cells(one_cell([1.0]), one_cell([1.5]))
+        (delta,) = diff.cells
+        assert delta.classification == "regression"
+        assert delta.significant
+        assert delta.relative == pytest.approx(0.5)
+
+    def test_speedup_is_an_improvement(self):
+        diff = diff_cells(one_cell([1.0]), one_cell([0.5]))
+        assert diff.cells[0].classification == "improvement"
+
+    def test_single_seed_zero_delta_is_noise_not_regression(self):
+        diff = diff_cells(one_cell([1.0]), one_cell([1.0]))
+        (delta,) = diff.cells
+        assert delta.classification == "noise"
+        assert not delta.significant
+
+    def test_significant_within_tolerance_reads_as_noise(self):
+        # deterministic +1% move: significant (±0 interval) but under
+        # the 2% default tolerance
+        diff = diff_cells(one_cell([1.0]), one_cell([1.01]))
+        (delta,) = diff.cells
+        assert delta.significant
+        assert delta.classification == "noise"
+
+    def test_insignificant_large_delta_is_noise(self):
+        # wildly overlapping spreads: |delta| under the Welch interval
+        diff = diff_cells(one_cell([1.0, 2.0, 3.0]), one_cell([1.1, 2.1, 3.3]))
+        (delta,) = diff.cells
+        assert not delta.significant
+        assert delta.classification == "noise"
+
+    def test_tolerance_table_applies_per_kind(self):
+        tolerances = Tolerances(default=0.02, kinds={"sendrecv": 0.75})
+        diff = diff_cells(one_cell([1.0]), one_cell([1.5]),
+                          tolerances=tolerances)
+        assert diff.cells[0].classification == "noise"
+        assert diff.cells[0].tolerance == 0.75
+
+    def test_added_removed_and_unmeasured(self):
+        gone = cell(tool="pvm", kind="global_sum", params='{"vector_ints":100}')
+        na = cell(tool="pvm", kind="broadcast")
+        baseline = {**one_cell([1.0]), gone: {0: 2.0}, na: {0: None}}
+        current = {**one_cell([1.0]),
+                   cell(tool="mpi"): {0: 1.0}, na: {0: None}}
+        by_class = diff_cells(baseline, current).by_classification()
+        assert [c.tool for c in by_class["removed"]] == ["pvm"]
+        assert [c.tool for c in by_class["added"]] == ["mpi"]
+        assert [c.tool for c in by_class["unmeasured"]] == ["pvm"]
+        assert len(by_class["noise"]) == 1
+
+    def test_cells_come_back_in_deterministic_order(self):
+        baseline = {cell(tool=t): {0: 1.0} for t in ("p4", "mpi", "pvm")}
+        diff_a = diff_cells(baseline, baseline)
+        diff_b = diff_cells(dict(reversed(list(baseline.items()))), baseline)
+        assert ([c.label() for c in diff_a.cells]
+                == [c.label() for c in diff_b.cells]
+                == sorted(c.label() for c in diff_a.cells))
+
+
+class TestTolerances:
+    def test_from_mapping_and_kind_lookup(self):
+        tolerances = Tolerances.from_mapping(
+            {"default": 0.1, "kinds": {"broadcast": 0.3}})
+        assert tolerances.for_kind("broadcast") == 0.3
+        assert tolerances.for_kind("sendrecv") == 0.1
+
+    def test_rejects_unknown_fields_and_bad_values(self, tmp_path):
+        with pytest.raises(HistoryError, match="unknown tolerance fields"):
+            Tolerances.from_mapping({"defualt": 0.1})
+        with pytest.raises(HistoryError, match="finite non-negative"):
+            Tolerances(default=-0.5)
+        with pytest.raises(HistoryError, match="finite non-negative"):
+            Tolerances(kinds={"ring": float("nan")})
+        missing = tmp_path / "nope.json"
+        with pytest.raises(HistoryError, match="cannot read"):
+            Tolerances.from_file(str(missing))
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "tol.json"
+        path.write_text(json.dumps({"default": 0.25}))
+        assert Tolerances.from_file(str(path)).default == 0.25
+
+
+class TestDiffRuns:
+    def test_real_runs_with_injected_slowdown(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 1.5, kinds=("sendrecv",)))
+        diff = diff_runs(store, "latest~1", "latest")
+        summary = diff.summary()
+        assert summary["regression"] == 1  # the one sendrecv cell
+        assert summary["regression"] + summary["noise"] == len(diff.cells)
+        (regressed,) = diff.regressions
+        assert regressed.kind == "sendrecv"
+        assert regressed.relative == pytest.approx(0.5, rel=1e-6)
+
+    def test_identical_runs_do_not_move(self, store, export):
+        store.record_result(export)
+        store.record_result(export)
+        diff = diff_runs(store, "latest~1", "latest")
+        assert diff.moved == []
+        assert "0 regression(s)" in diff.render()
+
+    def test_to_dict_is_json_safe_and_complete(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 2.0))
+        payload = diff_runs(store, "latest~1", "latest").to_dict()
+        json.dumps(payload)  # must not raise
+        assert set(payload["summary"]) == set(CLASSIFICATIONS)
+        assert len(payload["cells"]) == len(store.cells(
+            store.resolve("latest")))

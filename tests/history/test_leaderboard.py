@@ -1,0 +1,172 @@
+"""Leaderboards and analytics: ordering, windows, failure patterns."""
+
+import json
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.history import analyze_history, leaderboards, trend
+
+from history_helpers import scaled
+
+
+def synthetic_export(scores, spec_extra=None):
+    """A minimal evaluation export whose statistics are dictated.
+
+    ``scores``: {(platform, profile, tool): (mean, stddev, n)}.
+    """
+    statistics = {}
+    for (platform, profile, tool), (mean, stddev, n) in sorted(scores.items()):
+        cell = statistics.setdefault("%s/%s" % (platform, profile), {})
+        cell[tool] = {"n": n, "mean": mean, "stddev": stddev,
+                      "ci_halfwidth": 0.0, "confidence": 0.95}
+    spec = {"tools": sorted({key[2] for key in scores}), "noise": 0.0}
+    spec.update(spec_extra or {})
+    return {"spec": spec, "samples": [], "statistics": statistics}
+
+
+def record_scores(store, *score_maps):
+    for scores in score_maps:
+        store.record_result(synthetic_export(scores))
+
+
+class TestLeaderboards:
+    def test_ranks_by_mean_score_descending(self, store):
+        record_scores(store, {
+            ("net", "balanced", "p4"): (0.9, 0.0, 3),
+            ("net", "balanced", "pvm"): (0.6, 0.0, 3),
+            ("net", "balanced", "mpi"): (0.8, 0.0, 3),
+        })
+        (board,) = leaderboards(store)
+        assert [(row.rank, row.tool) for row in board.rows] == [
+            (1, "p4"), (2, "mpi"), (3, "pvm")]
+        assert board.winner == "p4"
+
+    def test_ties_break_on_tool_name(self, store):
+        record_scores(store, {
+            ("net", "balanced", "zz"): (0.5, 0.0, 1),
+            ("net", "balanced", "aa"): (0.5, 0.0, 1),
+        })
+        (board,) = leaderboards(store)
+        assert [row.tool for row in board.rows] == ["aa", "zz"]
+
+    def test_aggregates_across_the_window(self, store):
+        record_scores(
+            store,
+            {("net", "balanced", "p4"): (0.6, 0.0, 1)},
+            {("net", "balanced", "p4"): (0.8, 0.0, 1)},
+        )
+        (board,) = leaderboards(store)
+        (row,) = board.rows
+        assert row.runs == 2
+        assert row.stats.mean == pytest.approx(0.7)
+        assert row.latest == pytest.approx(0.8)  # newest run's score
+
+    def test_window_excludes_older_runs(self, store):
+        record_scores(
+            store,
+            {("net", "balanced", "p4"): (0.1, 0.0, 1)},
+            {("net", "balanced", "p4"): (0.9, 0.0, 1)},
+        )
+        (board,) = leaderboards(store, window=1)
+        assert board.rows[0].stats.mean == pytest.approx(0.9)
+        assert len(board.run_ids) == 1
+
+    def test_platform_profile_filters_and_board_order(self, store):
+        record_scores(store, {
+            ("zeta", "balanced", "p4"): (0.9, 0.0, 1),
+            ("alpha", "end-user", "p4"): (0.8, 0.0, 1),
+            ("alpha", "balanced", "p4"): (0.7, 0.0, 1),
+        })
+        boards = leaderboards(store)
+        assert [(b.platform, b.profile) for b in boards] == [
+            ("alpha", "balanced"), ("alpha", "end-user"), ("zeta", "balanced")]
+        filtered = leaderboards(store, platform="alpha", profile="end-user")
+        assert [(b.platform, b.profile) for b in filtered] == [
+            ("alpha", "end-user")]
+
+    def test_rendering_is_deterministic(self, store):
+        record_scores(store, {
+            ("net", "balanced", "p4"): (0.9, 0.0, 3),
+            ("net", "balanced", "pvm"): (0.6, 0.0, 3),
+        })
+        assert leaderboards(store)[0].render() == leaderboards(store)[0].render()
+
+    def test_window_must_be_positive(self, store):
+        with pytest.raises(HistoryError, match=">= 1"):
+            leaderboards(store, window=0)
+
+    def test_empty_store_yields_no_boards(self, store):
+        assert leaderboards(store) == []
+
+
+class TestTrend:
+    def test_needs_exactly_one_query_shape(self, store):
+        with pytest.raises(HistoryError, match="different queries"):
+            trend(store, metric="metrics.x", platform="net")
+        with pytest.raises(HistoryError, match="needs platform"):
+            trend(store, platform="net")
+
+    def test_sample_trend_direction(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 2.0))
+        series = trend(store, platform="sun-ethernet", tool="p4",
+                       kind="sendrecv", size=1024)
+        assert series.unit == "seconds"
+        assert series.direction() == "regressing"
+        assert len(series.points) == 2
+
+    def test_metric_trend_direction_is_polarity_neutral(self, store):
+        for value in (1.0, 2.0):
+            store.record_bench({"benchmark": "kernel",
+                                "metrics": {"kernel_events_per_sec": value}})
+        series = trend(store, metric="metrics.kernel_events_per_sec")
+        assert series.unit == "value"
+        assert series.direction() == "up"
+        assert series.values == [1.0, 2.0]
+
+
+class TestAnalyzeHistory:
+    def test_repeat_regressions_cluster(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 1.5, kinds=("sendrecv",)))
+        store.record_result(scaled(export, 2.25, kinds=("sendrecv",)))
+        analysis = analyze_history(store)
+        (offender,) = analysis.repeat_regressions
+        assert offender["count"] == 2
+        assert "sendrecv" in offender["cell"]
+        assert any("bisect" in line for line in analysis.recommendations)
+
+    def test_one_off_regression_is_not_a_repeat_offender(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 1.5, kinds=("sendrecv",)))
+        store.record_result(scaled(export, 1.5, kinds=("sendrecv",)))
+        assert analyze_history(store).repeat_regressions == []
+
+    def test_unmeasured_cells_surface_per_tool(self, store, export):
+        for sample in export["samples"]:
+            if sample["kind"] == "global_sum":
+                sample["seconds"] = None
+        store.record_result(export)
+        analysis = analyze_history(store)
+        assert analysis.unmeasured == [
+            {"tool": "p4", "kind": "global_sum", "cells": 1}]
+        assert any("p4" in line and "global_sum" in line
+                   for line in analysis.recommendations)
+
+    def test_overlapping_cis_recommend_more_seeds(self, store):
+        record_scores(
+            store,
+            {("net", "balanced", "p4"): (0.80, 0.05, 3),
+             ("net", "balanced", "mpi"): (0.78, 0.05, 3)},
+            {("net", "balanced", "p4"): (0.70, 0.05, 3),
+             ("net", "balanced", "mpi"): (0.72, 0.05, 3)},
+        )
+        analysis = analyze_history(store)
+        assert any("CIs overlap" in line for line in analysis.recommendations)
+
+    def test_to_dict_round_trips_through_json(self, store, export):
+        store.record_result(export)
+        store.record_result(scaled(export, 2.0))
+        payload = analyze_history(store).to_dict()
+        assert payload == json.loads(json.dumps(payload))
